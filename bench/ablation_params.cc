@@ -1,0 +1,101 @@
+// Ablations over Leap's design parameters (the knobs DESIGN.md calls out):
+//   - AccessHistory size (Hsize): trend visibility vs staleness
+//   - Max prefetch window (PWsize_max): aggressiveness vs pollution
+//   - Nsplit: initial detection window granularity
+//   - Eviction policy: eager vs lazy under identical prefetching
+// Each runs PowerGraph at 50% memory on the full Leap stack.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/stats/table.h"
+
+namespace leap {
+namespace {
+
+struct Row {
+  std::string label;
+  double completion_s;
+  double coverage_pct;
+  double p99_us;
+  double prefetch_issued;
+};
+
+Row RunConfigured(const std::string& label, const MachineConfig& config) {
+  auto result = bench::RunAppModel(config, /*PowerGraph*/ 0, 50, 200000);
+  const Counters& c = result.machine->counters();
+  return Row{label, ToSec(result.run.completion_ns),
+             100.0 * c.Ratio(counter::kPrefetchHits, counter::kPageFaults),
+             ToUs(result.run.remote_access_latency.Percentile(0.99)),
+             static_cast<double>(c.Get(counter::kPrefetchIssued))};
+}
+
+void Print(const char* title, const std::vector<Row>& rows) {
+  std::printf("--- %s ---\n", title);
+  TextTable table;
+  table.SetHeader({"config", "completion(s)", "coverage(%)", "p99(us)",
+                   "prefetches"});
+  for (const Row& row : rows) {
+    char comp[32];
+    char cov[32];
+    char p99[32];
+    std::snprintf(comp, sizeof(comp), "%.2f", row.completion_s);
+    std::snprintf(cov, sizeof(cov), "%.1f", row.coverage_pct);
+    std::snprintf(p99, sizeof(p99), "%.2f", row.p99_us);
+    table.AddRow({row.label, comp, cov, p99,
+                  std::to_string(static_cast<uint64_t>(row.prefetch_issued))});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Ablations - Hsize, PWsize_max, Nsplit, eviction policy",
+      "paper defaults: Hsize=32, PWsize_max=8, Nsplit=2, eager eviction; "
+      "section 3.3: even Hsize=32 gives most of the benefit");
+
+  {
+    std::vector<Row> rows;
+    for (size_t hsize : {8, 16, 32, 64, 128}) {
+      MachineConfig config = LeapVmmConfig(bench::kMicroFrames, 101);
+      config.leap.history_size = hsize;
+      rows.push_back(RunConfigured("Hsize=" + std::to_string(hsize), config));
+    }
+    Print("AccessHistory size (Hsize)", rows);
+  }
+  {
+    std::vector<Row> rows;
+    for (size_t pw : {1, 2, 4, 8, 16, 32}) {
+      MachineConfig config = LeapVmmConfig(bench::kMicroFrames, 102);
+      config.leap.max_prefetch_window = pw;
+      rows.push_back(RunConfigured("PWmax=" + std::to_string(pw), config));
+    }
+    Print("Max prefetch window (PWsize_max)", rows);
+  }
+  {
+    std::vector<Row> rows;
+    for (size_t nsplit : {1, 2, 4, 8}) {
+      MachineConfig config = LeapVmmConfig(bench::kMicroFrames, 103);
+      config.leap.nsplit = nsplit;
+      rows.push_back(RunConfigured("Nsplit=" + std::to_string(nsplit),
+                                   config));
+    }
+    Print("Initial window divisor (Nsplit)", rows);
+  }
+  {
+    std::vector<Row> rows;
+    MachineConfig lazy = LeapVmmConfig(bench::kMicroFrames, 104);
+    lazy.eviction = EvictionKind::kLazyLru;
+    rows.push_back(RunConfigured("lazy LRU", lazy));
+    rows.push_back(RunConfigured(
+        "eager (Leap)", LeapVmmConfig(bench::kMicroFrames, 104)));
+    Print("Prefetch cache eviction policy", rows);
+  }
+}
+
+}  // namespace
+}  // namespace leap
+
+int main() {
+  leap::Run();
+  return 0;
+}

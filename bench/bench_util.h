@@ -1,0 +1,103 @@
+// Shared setup for the figure/table reproduction benches.
+//
+// Every binary prints (a) the paper's reported numbers for the experiment
+// and (b) the numbers this simulation regenerates, in the same units, so
+// EXPERIMENTS.md can be audited against raw bench output.
+#ifndef LEAP_BENCH_BENCH_UTIL_H_
+#define LEAP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/runtime/app_runner.h"
+#include "src/runtime/machine.h"
+#include "src/runtime/presets.h"
+#include "src/workload/app_models.h"
+#include "src/workload/patterns.h"
+
+namespace leap {
+namespace bench {
+
+// Standard microbenchmark geometry (scaled-down from the paper's 2 GB
+// working set / 1 GB memory): 16k-page (64 MB) footprint at 50% memory.
+inline constexpr size_t kMicroFootprintPages = 16 * 1024;
+inline constexpr size_t kMicroFrames = 1 << 16;
+
+struct MicroResult {
+  RunResult run;
+  std::unique_ptr<Machine> machine;
+};
+
+enum class MicroPattern { kSequential, kStride10 };
+
+// Populates the working set sequentially (paper setup), then measures
+// `accesses` of the given pattern at 50% memory.
+inline MicroResult RunMicro(const MachineConfig& config, MicroPattern pattern,
+                            size_t accesses, size_t footprint_pages =
+                                                  kMicroFootprintPages) {
+  MicroResult out;
+  out.machine = std::make_unique<Machine>(config);
+  const Pid pid = out.machine->CreateProcess(footprint_pages / 2);
+  const SimTimeNs warm_end = WarmUp(*out.machine, pid, footprint_pages);
+  RunConfig run;
+  run.total_accesses = accesses;
+  run.start_time_ns = warm_end + 10 * kNsPerMs;
+  if (pattern == MicroPattern::kSequential) {
+    SequentialStream stream(footprint_pages, 750);
+    out.run = RunApp(*out.machine, pid, stream, run);
+  } else {
+    StrideStream stream(footprint_pages, 10, 750);
+    out.run = RunApp(*out.machine, pid, stream, run);
+  }
+  return out;
+}
+
+// Runs one of the four application models at `memory_pct` of its footprint
+// with a sequential warm-up pass, returning the result and the machine for
+// counter inspection.
+struct AppResult {
+  RunResult run;
+  std::unique_ptr<Machine> machine;
+};
+
+inline AppResult RunAppModel(const MachineConfig& config, size_t app_index,
+                             size_t memory_pct, size_t accesses,
+                             SimTimeNs time_cap_ns = 0,
+                             uint64_t workload_seed = 1234) {
+  AppResult out;
+  out.machine = std::make_unique<Machine>(config);
+  const AppSpec& spec = kApps[app_index];
+  const size_t limit = spec.footprint_pages * memory_pct / 100;
+  const Pid pid = out.machine->CreateProcess(limit);
+  auto stream = spec.make(spec.footprint_pages, workload_seed);
+  const SimTimeNs warm_end = WarmUp(*out.machine, pid, spec.footprint_pages);
+  RunConfig run;
+  run.total_accesses = accesses;
+  run.start_time_ns = warm_end + 10 * kNsPerMs;
+  run.time_cap_ns = time_cap_ns;
+  out.run = RunApp(*out.machine, pid, *stream, run);
+  return out;
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_summary) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_summary.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline std::string FormatCompletion(const RunResult& r) {
+  if (!r.finished) {
+    return "DNF";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ToSec(r.completion_ns));
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace leap
+
+#endif  // LEAP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,89 @@
+// Figure 7: 4KB page access latency with and without Leap, for both
+// disaggregated VMM and disaggregated VFS, under Sequential and Stride-10.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/stats/cdf.h"
+
+namespace leap {
+namespace {
+
+RunResult RunVfs(const MachineConfig& config, bench::MicroPattern pattern,
+                 size_t accesses) {
+  Machine vfs(config);
+  const Pid pid = vfs.CreateProcess(0);
+  SimTimeNs now = 0;
+  for (Vpn v = 0; v < bench::kMicroFootprintPages; ++v) {
+    now += 150;
+    now += vfs.Access(pid, v, /*write=*/true, now).latency;
+  }
+  RunConfig run;
+  run.total_accesses = accesses;
+  run.start_time_ns = now + 10 * kNsPerMs;
+  if (pattern == bench::MicroPattern::kSequential) {
+    SequentialStream stream(bench::kMicroFootprintPages, 750);
+    return RunApp(vfs, pid, stream, run);
+  }
+  StrideStream stream(bench::kMicroFootprintPages, 10, 750);
+  return RunApp(vfs, pid, stream, run);
+}
+
+void RunPattern(bench::MicroPattern pattern, const char* label,
+                size_t accesses) {
+  auto dvmm = bench::RunMicro(
+      DefaultVmmConfig(PrefetchKind::kReadAhead, bench::kMicroFrames, 21),
+      pattern, accesses);
+  auto dvmm_leap = bench::RunMicro(LeapVmmConfig(bench::kMicroFrames, 21),
+                                   pattern, accesses);
+  const RunResult vfs = RunVfs(
+      DefaultVfsConfig(PrefetchKind::kReadAhead, bench::kMicroFrames,
+                       bench::kMicroFootprintPages / 2, 21),
+      pattern, accesses);
+  const RunResult vfs_leap =
+      RunVfs(LeapVfsConfig(bench::kMicroFrames,
+                           bench::kMicroFootprintPages / 2, 21),
+             pattern, accesses);
+
+  std::printf("--- %s ---\n", label);
+  std::printf(
+      "%s\n",
+      RenderLatencyQuantileTable(
+          {{"D-VMM", &dvmm.run.remote_access_latency},
+           {"D-VMM+Leap", &dvmm_leap.run.remote_access_latency},
+           {"D-VFS", &vfs.remote_access_latency},
+           {"D-VFS+Leap", &vfs_leap.remote_access_latency}})
+          .c_str());
+
+  const double vmm_p50 = ToUs(dvmm.run.remote_access_latency.Percentile(0.5));
+  const double vmm_leap_p50 =
+      ToUs(dvmm_leap.run.remote_access_latency.Percentile(0.5));
+  const double vmm_p99 =
+      ToUs(dvmm.run.remote_access_latency.Percentile(0.99));
+  const double vmm_leap_p99 =
+      ToUs(dvmm_leap.run.remote_access_latency.Percentile(0.99));
+  const double vfs_p50 = ToUs(vfs.remote_access_latency.Percentile(0.5));
+  const double vfs_leap_p50 =
+      ToUs(vfs_leap.remote_access_latency.Percentile(0.5));
+  const double vfs_p99 = ToUs(vfs.remote_access_latency.Percentile(0.99));
+  const double vfs_leap_p99 =
+      ToUs(vfs_leap.remote_access_latency.Percentile(0.99));
+  std::printf("improvement D-VMM: median %.2fx, p99 %.2fx\n",
+              vmm_p50 / vmm_leap_p50, vmm_p99 / vmm_leap_p99);
+  std::printf("improvement D-VFS: median %.2fx, p99 %.2fx\n\n",
+              vfs_p50 / vfs_leap_p50, vfs_p99 / vfs_leap_p99);
+}
+
+}  // namespace
+}  // namespace leap
+
+int main() {
+  leap::bench::PrintHeader(
+      "Figure 7 - 4KB access latency with Leap",
+      "sequential: D-VMM median 4.07x / p99 5.48x, D-VFS median 1.99x / "
+      "p99 3.42x; stride-10: D-VMM median 104.04x / p99 22.06x, D-VFS "
+      "median 24.96x / p99 17.32x");
+  leap::RunPattern(leap::bench::MicroPattern::kSequential, "Sequential",
+                   120000);
+  leap::RunPattern(leap::bench::MicroPattern::kStride10, "Stride-10", 60000);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Graph analytics under memory pressure: the paper's motivating scenario.
+//
+// A PowerGraph-style workload (CSR scans + strided property walks +
+// irregular gathers) runs at decreasing local-memory fractions, showing how
+// Leap keeps the remote-latency profile flat while the default data path
+// degrades - and how the prefetcher adapts its window per phase.
+//
+//   $ ./graph_analytics
+#include <cstdio>
+
+#include "src/runtime/app_runner.h"
+#include "src/runtime/presets.h"
+#include "src/stats/table.h"
+#include "src/workload/app_models.h"
+
+namespace {
+
+constexpr size_t kFootprintPages = 24 * 1024;  // 96 MB graph
+constexpr size_t kAccesses = 150'000;
+
+struct Row {
+  double completion_s;
+  double p50_us;
+  double p99_us;
+  double coverage_pct;
+};
+
+Row RunOne(const leap::MachineConfig& config, size_t memory_pct) {
+  leap::Machine machine(config);
+  const leap::Pid pid =
+      machine.CreateProcess(kFootprintPages * memory_pct / 100);
+  const leap::SimTimeNs warm = leap::WarmUp(machine, pid, kFootprintPages);
+  auto graph = leap::MakePowerGraph(kFootprintPages, 99);
+  leap::RunConfig run;
+  run.total_accesses = kAccesses;
+  run.start_time_ns = warm + 10 * leap::kNsPerMs;
+  const leap::RunResult result = leap::RunApp(machine, pid, *graph, run);
+  return Row{
+      leap::ToSec(result.completion_ns),
+      leap::ToUs(result.remote_access_latency.Percentile(0.5)),
+      leap::ToUs(result.remote_access_latency.Percentile(0.99)),
+      100.0 * machine.counters().Ratio(leap::counter::kPrefetchHits,
+                                       leap::counter::kPageFaults)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PowerGraph-style graph analytics, %zu-page (96 MB) graph\n\n",
+              kFootprintPages);
+  leap::TextTable table;
+  table.SetHeader({"memory", "path", "completion(s)", "p50(us)", "p99(us)",
+                   "coverage(%)"});
+  for (size_t pct : {75, 50, 25}) {
+    const Row dvmm = RunOne(
+        leap::DefaultVmmConfig(leap::PrefetchKind::kReadAhead, 1 << 16, 3),
+        pct);
+    const Row with_leap = RunOne(leap::LeapVmmConfig(1 << 16, 3), pct);
+    char buf[4][32];
+    std::snprintf(buf[0], sizeof(buf[0]), "%.2f", dvmm.completion_s);
+    std::snprintf(buf[1], sizeof(buf[1]), "%.2f", dvmm.p50_us);
+    std::snprintf(buf[2], sizeof(buf[2]), "%.2f", dvmm.p99_us);
+    std::snprintf(buf[3], sizeof(buf[3]), "%.1f", dvmm.coverage_pct);
+    table.AddRow({std::to_string(pct) + "%", "default", buf[0], buf[1],
+                  buf[2], buf[3]});
+    std::snprintf(buf[0], sizeof(buf[0]), "%.2f", with_leap.completion_s);
+    std::snprintf(buf[1], sizeof(buf[1]), "%.2f", with_leap.p50_us);
+    std::snprintf(buf[2], sizeof(buf[2]), "%.2f", with_leap.p99_us);
+    std::snprintf(buf[3], sizeof(buf[3]), "%.1f", with_leap.coverage_pct);
+    table.AddRow({"", "leap", buf[0], buf[1], buf[2], buf[3]});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Leap holds the latency profile nearly flat as memory\n"
+              "shrinks; the default path's median degrades toward its full "
+              "miss cost.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Key-value cache server scenario (the paper's Memcached case): a
+// latency-sensitive, mostly-random workload where the right behavior for a
+// prefetcher is to *stand down*.
+//
+// Shows (a) Leap's adaptive throttling - near-zero prefetch volume on
+// zipf-random traffic, so no RDMA congestion or cache pollution - and
+// (b) that the lean data path still cuts the p99 paging latency, which is
+// what preserves the server's op throughput at tight memory limits.
+//
+//   $ ./kv_cache_server
+#include <cstdio>
+
+#include "src/runtime/app_runner.h"
+#include "src/runtime/presets.h"
+#include "src/stats/table.h"
+#include "src/workload/app_models.h"
+
+namespace {
+
+constexpr size_t kFootprintPages = 28 * 1024;  // 112 MB of slabs
+constexpr size_t kOps = 120'000;
+
+struct Row {
+  double kops;
+  double p99_us;
+  uint64_t prefetches;
+  uint64_t unused;
+};
+
+Row Serve(const leap::MachineConfig& config, size_t memory_pct) {
+  leap::Machine machine(config);
+  const leap::Pid pid =
+      machine.CreateProcess(kFootprintPages * memory_pct / 100);
+  const leap::SimTimeNs warm = leap::WarmUp(machine, pid, kFootprintPages);
+  auto traffic = leap::MakeMemcached(kFootprintPages, 1001);
+  leap::RunConfig run;
+  run.total_accesses = kOps * 2;  // ~2 page touches per op
+  run.start_time_ns = warm + 10 * leap::kNsPerMs;
+  const leap::RunResult result = leap::RunApp(machine, pid, *traffic, run);
+  return Row{result.ops_per_sec / 1000.0,
+             leap::ToUs(result.remote_access_latency.Percentile(0.99)),
+             machine.counters().Get(leap::counter::kPrefetchIssued),
+             machine.counters().Get(leap::counter::kPrefetchUnused)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("zipf-random KV traffic (Facebook-ETC-like), %zu ops\n\n",
+              kOps);
+  leap::TextTable table;
+  table.SetHeader({"memory", "path", "kops/s", "p99(us)", "prefetches",
+                   "unused"});
+  for (size_t pct : {50, 25}) {
+    const Row dvmm = Serve(
+        leap::DefaultVmmConfig(leap::PrefetchKind::kReadAhead, 1 << 16, 5),
+        pct);
+    const Row with_leap = Serve(leap::LeapVmmConfig(1 << 16, 5), pct);
+    char kops[32];
+    char p99[32];
+    std::snprintf(kops, sizeof(kops), "%.1f", dvmm.kops);
+    std::snprintf(p99, sizeof(p99), "%.1f", dvmm.p99_us);
+    table.AddRow({std::to_string(pct) + "%", "default", kops, p99,
+                  std::to_string(dvmm.prefetches),
+                  std::to_string(dvmm.unused)});
+    std::snprintf(kops, sizeof(kops), "%.1f", with_leap.kops);
+    std::snprintf(p99, sizeof(p99), "%.1f", with_leap.p99_us);
+    table.AddRow({"", "leap", kops, p99,
+                  std::to_string(with_leap.prefetches),
+                  std::to_string(with_leap.unused)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("On random traffic Leap stands down (tiny prefetch volume)\n"
+              "instead of polluting the cache; throughput is preserved by\n"
+              "the faster slow path, not by speculation.\n");
+  return 0;
+}

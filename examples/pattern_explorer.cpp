@@ -1,0 +1,77 @@
+// Interactive trend-detection explorer.
+//
+// Type page numbers (decimal or 0x hex) one per line and watch Leap's
+// AccessHistory, majority trend, and prefetch decisions evolve. Useful for
+// building intuition about Algorithm 1/2 corner cases.
+//
+//   $ ./pattern_explorer          # interactive
+//   $ echo "1 2 3 4 5 6" | ./pattern_explorer
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/core/leap.h"
+
+namespace {
+
+void PrintState(const leap::LeapPrefetcher& prefetcher,
+                const leap::PrefetchDecision& decision) {
+  const leap::AccessHistory& history = prefetcher.history();
+  std::printf("  history (newest first): [");
+  for (size_t i = 0; i < history.size(); ++i) {
+    std::printf("%s%+lld", i == 0 ? "" : ", ",
+                static_cast<long long>(history.FromHead(i)));
+  }
+  std::printf("]\n");
+  if (decision.trend_found) {
+    std::printf("  majority trend: %+lld\n",
+                static_cast<long long>(decision.delta_used));
+  } else {
+    std::printf("  majority trend: none%s\n",
+                decision.speculative ? " (speculating with last trend)" : "");
+  }
+  std::printf("  prefetch window: %zu\n", decision.window_size);
+  if (decision.pages.empty()) {
+    std::printf("  prefetch: (demand page only)\n");
+  } else {
+    std::printf("  prefetch:");
+    for (leap::SwapSlot page : decision.pages) {
+      std::printf(" %llu", static_cast<unsigned long long>(page));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  leap::LeapParams params;
+  params.history_size = 8;  // small enough to eyeball
+  leap::LeapPrefetcher prefetcher(params);
+
+  std::printf("Leap pattern explorer - Hsize=%zu, Nsplit=%zu, PWmax=%zu\n",
+              params.history_size, params.nsplit,
+              params.max_prefetch_window);
+  std::printf("enter page numbers (blank line or EOF to quit); every\n"
+              "access is treated as a fault, and prefetched pages are\n"
+              "auto-consumed so the window can grow.\n\n");
+
+  std::string token;
+  while (std::cin >> token) {
+    leap::SwapSlot page = 0;
+    try {
+      page = std::stoull(token, nullptr, 0);  // accepts 0x.. and decimal
+    } catch (...) {
+      std::printf("  (could not parse '%s')\n", token.c_str());
+      continue;
+    }
+    const leap::PrefetchDecision d = prefetcher.OnMiss(page);
+    for (size_t i = 0; i < d.pages.size(); ++i) {
+      prefetcher.OnPrefetchHit();
+    }
+    std::printf("access %llu:\n", static_cast<unsigned long long>(page));
+    PrintState(prefetcher, d);
+  }
+  return 0;
+}

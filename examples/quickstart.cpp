@@ -1,0 +1,59 @@
+// Quickstart: the Leap prefetching core in 60 lines.
+//
+// Feeds a page-access stream with a trend shift (the paper's Figure 5
+// scenario, extended) into a LeapPrefetcher and prints every decision:
+// detected majority delta, prefetch window, and the candidate pages.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/leap.h"
+
+int main() {
+  leap::LeapParams params;  // Hsize = 32, Nsplit = 2, PWsize_max = 8
+  params.history_size = 8;  // small history so the walkthrough is visible
+  leap::LeapPrefetcher prefetcher(params);
+
+  // A descending -3 walk that flips to an ascending +2 walk with two
+  // noisy interruptions - short-term irregularity the majority vote rides
+  // out.
+  const std::vector<leap::SwapSlot> accesses = {
+      0x48, 0x45, 0x42, 0x3F, 0x3C, 0x02, 0x04, 0x06,
+      0x08, 0x0A, 0x0C, 0x10, 0x39, 0x12, 0x14, 0x16};
+
+  std::printf("%-6s %-8s %-7s %-6s %-12s %s\n", "t", "page", "trend",
+              "window", "mode", "prefetched pages");
+  for (size_t t = 0; t < accesses.size(); ++t) {
+    const leap::PrefetchDecision d = prefetcher.OnMiss(accesses[t]);
+    // Pretend every prefetched page gets used, so the window opens up.
+    for (size_t i = 0; i < d.pages.size(); ++i) {
+      prefetcher.OnPrefetchHit();
+    }
+    std::string pages;
+    for (leap::SwapSlot page : d.pages) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "0x%02llX ",
+                    static_cast<unsigned long long>(page));
+      pages += buf;
+    }
+    char trend[16] = "-";
+    if (d.trend_found) {
+      std::snprintf(trend, sizeof(trend), "%+lld",
+                    static_cast<long long>(d.delta_used));
+    }
+    std::printf("t%-5zu 0x%02llX     %-7s %-6zu %-12s %s\n", t,
+                static_cast<unsigned long long>(accesses[t]), trend,
+                d.window_size,
+                d.speculative ? "speculative"
+                              : (d.trend_found ? "trend" : "suspended"),
+                pages.empty() ? "(demand only)" : pages.c_str());
+  }
+
+  std::printf(
+      "\nThe -3 trend is picked up by t3, survives the jump at t5, and the\n"
+      "+2 trend takes over from t8 - with the t12/t13 noise ignored,\n"
+      "exactly like Figure 5 of the paper.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Block I/O request descriptor (a simulated `struct bio`).
+#ifndef LEAP_SRC_BLOCKLAYER_BIO_H_
+#define LEAP_SRC_BLOCKLAYER_BIO_H_
+
+#include <cstddef>
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+struct Bio {
+  SwapSlot start = 0;   // first page-granularity sector
+  size_t npages = 1;    // contiguous page count
+  bool write = false;
+  SimTimeNs submitted_at = 0;
+
+  SwapSlot end() const { return start + npages; }
+
+  // True when `other` extends this bio contiguously (front or back merge).
+  bool CanMergeWith(const Bio& other) const {
+    if (write != other.write) {
+      return false;
+    }
+    return other.start == end() || other.end() == start;
+  }
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_BLOCKLAYER_BIO_H_

@@ -1,0 +1,26 @@
+#include "src/core/access_history.h"
+
+namespace leap {
+
+AccessHistory::AccessHistory(size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity, 0) {}
+
+void AccessHistory::Push(PageDelta delta) {
+  head_ = (head_ + 1) % ring_.size();
+  ring_[head_] = delta;
+  if (size_ < ring_.size()) {
+    ++size_;
+  }
+}
+
+PageDelta AccessHistory::FromHead(size_t i) const {
+  const size_t n = ring_.size();
+  return ring_[(head_ + n - i % n) % n];
+}
+
+void AccessHistory::Clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace leap

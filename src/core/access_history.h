@@ -1,0 +1,43 @@
+// Per-process fixed-size circular queue of page-access deltas.
+//
+// Mirrors the paper's AccessHistory (section 4.1): instead of absolute page
+// addresses, only the difference between two consecutive remote page
+// accesses is stored, which both shrinks the footprint and makes trend
+// detection a majority query over deltas.
+#ifndef LEAP_SRC_CORE_ACCESS_HISTORY_H_
+#define LEAP_SRC_CORE_ACCESS_HISTORY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+class AccessHistory {
+ public:
+  explicit AccessHistory(size_t capacity);
+
+  // Appends the newest delta, overwriting the oldest once full.
+  void Push(PageDelta delta);
+
+  // Number of valid entries, at most capacity().
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  // Entry `i` steps back from the head: FromHead(0) is the newest delta.
+  // Precondition: i < size().
+  PageDelta FromHead(size_t i) const;
+
+  void Clear();
+
+ private:
+  std::vector<PageDelta> ring_;
+  size_t head_ = 0;  // index of the most recent entry
+  size_t size_ = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_CORE_ACCESS_HISTORY_H_

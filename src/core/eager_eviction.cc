@@ -1,0 +1,38 @@
+#include "src/core/eager_eviction.h"
+
+namespace leap {
+
+void PrefetchFifoLruList::OnPrefetched(SwapSlot slot) {
+  if (index_.count(slot) != 0) {
+    return;
+  }
+  fifo_.push_back(slot);
+  index_[slot] = std::prev(fifo_.end());
+}
+
+bool PrefetchFifoLruList::OnConsumed(SwapSlot slot) {
+  auto it = index_.find(slot);
+  if (it == index_.end()) {
+    return false;
+  }
+  fifo_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+std::optional<SwapSlot> PrefetchFifoLruList::PopOldest() {
+  if (fifo_.empty()) {
+    return std::nullopt;
+  }
+  const SwapSlot slot = fifo_.front();
+  fifo_.pop_front();
+  index_.erase(slot);
+  return slot;
+}
+
+void PrefetchFifoLruList::Clear() {
+  fifo_.clear();
+  index_.clear();
+}
+
+}  // namespace leap

@@ -1,0 +1,48 @@
+// PrefetchFifoLruList: the bookkeeping behind Leap's eager cache eviction
+// (paper section 4.3).
+//
+// Every prefetched page is appended at the tail. When a prefetched page is
+// consumed (first cache hit + page-table update), Leap frees its cache entry
+// immediately instead of leaving it for kswapd's LRU scan. If reclaim needs
+// to evict prefetched pages that were never consumed, they leave in FIFO
+// order - they have no access history to rank them by.
+#ifndef LEAP_SRC_CORE_EAGER_EVICTION_H_
+#define LEAP_SRC_CORE_EAGER_EVICTION_H_
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+class PrefetchFifoLruList {
+ public:
+  // Appends a newly prefetched page at the tail. Duplicate inserts refresh
+  // nothing: FIFO position is set once at prefetch time.
+  void OnPrefetched(SwapSlot slot);
+
+  // Removes the page (consumed by a hit, eagerly freed). Returns true when
+  // the page was present.
+  bool OnConsumed(SwapSlot slot);
+
+  // Pops the oldest unconsumed prefetched page for eviction under memory
+  // pressure; nullopt when empty.
+  std::optional<SwapSlot> PopOldest();
+
+  bool Contains(SwapSlot slot) const { return index_.count(slot) != 0; }
+  size_t size() const { return fifo_.size(); }
+  bool empty() const { return fifo_.empty(); }
+
+  void Clear();
+
+ private:
+  std::list<SwapSlot> fifo_;  // front = oldest
+  std::unordered_map<SwapSlot, std::list<SwapSlot>::iterator> index_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_CORE_EAGER_EVICTION_H_

@@ -1,0 +1,84 @@
+#include "src/core/leap_prefetcher.h"
+
+namespace leap {
+namespace {
+
+// Generates up to `count` pages at stride `delta` from `pt`, dropping
+// candidates that underflow the address space or equal the demand page.
+std::vector<SwapSlot> GenerateCandidates(SwapSlot pt, PageDelta delta,
+                                         size_t count) {
+  std::vector<SwapSlot> pages;
+  if (delta == 0) {
+    return pages;
+  }
+  pages.reserve(count);
+  int64_t addr = static_cast<int64_t>(pt);
+  for (size_t i = 0; i < count; ++i) {
+    addr += delta;
+    if (addr < 0) {
+      break;
+    }
+    pages.push_back(static_cast<SwapSlot>(addr));
+  }
+  return pages;
+}
+
+}  // namespace
+
+LeapPrefetcher::LeapPrefetcher(const LeapParams& params)
+    : history_(params.history_size),
+      detector_(params.nsplit),
+      window_(params.max_prefetch_window) {}
+
+void LeapPrefetcher::RecordAccess(SwapSlot pt) {
+  // Log the access as a delta against the previous remote access
+  // (log_access_history in the kernel integration).
+  if (last_access_.has_value()) {
+    last_delta_ =
+        static_cast<PageDelta>(pt) - static_cast<PageDelta>(*last_access_);
+    history_.Push(*last_delta_);
+  }
+  last_access_ = pt;
+}
+
+PrefetchDecision LeapPrefetcher::OnMiss(SwapSlot pt) {
+  RecordAccess(pt);
+
+  // Detect the trend up front: "Pt follows the current trend" (Algorithm 2
+  // line 6) is judged against the freshly detected majority, falling back
+  // to the last known trend during majority gaps. Judging only against a
+  // previously cached trend would deadlock a cold prefetcher: no window ->
+  // no prefetch -> no hits -> no window.
+  const auto trend = detector_.FindTrend(history_);
+  const bool follows_trend =
+      last_delta_.has_value() &&
+      ((trend.has_value() && *last_delta_ == *trend) ||
+       (!trend.has_value() && last_trend_.has_value() &&
+        *last_delta_ == *last_trend_));
+
+  PrefetchDecision decision;
+  decision.trend_found = trend.has_value();
+  if (trend.has_value()) {
+    last_trend_ = trend;
+  }
+  decision.window_size = window_.ComputeSize(follows_trend);
+  if (decision.window_size == 0) {
+    // Prefetching suspended: read only Pt.
+    return decision;
+  }
+
+  if (trend.has_value()) {
+    decision.delta_used = *trend;
+    decision.pages = GenerateCandidates(pt, *trend, decision.window_size);
+  } else if (last_trend_.has_value()) {
+    // No majority right now: speculate around Pt with the latest trend so a
+    // short-term irregularity cannot fully stall prefetching.
+    decision.speculative = true;
+    decision.delta_used = *last_trend_;
+    decision.pages =
+        GenerateCandidates(pt, *last_trend_, decision.window_size);
+  }
+  return decision;
+}
+
+}  // namespace leap

@@ -1,0 +1,73 @@
+#include "src/core/majority.h"
+
+#include <algorithm>
+
+namespace leap {
+
+std::optional<PageDelta> BoyerMooreMajority(
+    std::span<const PageDelta> window) {
+  if (window.empty()) {
+    return std::nullopt;
+  }
+  // Pass 1: pairing phase, O(n) time, O(1) space.
+  PageDelta candidate = window[0];
+  size_t votes = 0;
+  for (PageDelta d : window) {
+    if (votes == 0) {
+      candidate = d;
+      votes = 1;
+    } else if (d == candidate) {
+      ++votes;
+    } else {
+      --votes;
+    }
+  }
+  // Pass 2: confirm the candidate is a strict majority.
+  const size_t needed = window.size() / 2 + 1;
+  size_t count = 0;
+  for (PageDelta d : window) {
+    if (d == candidate) {
+      ++count;
+    }
+  }
+  if (count >= needed) {
+    return candidate;
+  }
+  return std::nullopt;
+}
+
+std::optional<PageDelta> MajorityOfNewest(const AccessHistory& history,
+                                          size_t w) {
+  const size_t n = std::min(w, history.size());
+  if (n == 0) {
+    return std::nullopt;
+  }
+  // Same two passes as BoyerMooreMajority, reading the ring through
+  // FromHead() to avoid materializing the window.
+  PageDelta candidate = history.FromHead(0);
+  size_t votes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const PageDelta d = history.FromHead(i);
+    if (votes == 0) {
+      candidate = d;
+      votes = 1;
+    } else if (d == candidate) {
+      ++votes;
+    } else {
+      --votes;
+    }
+  }
+  const size_t needed = n / 2 + 1;
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (history.FromHead(i) == candidate) {
+      ++count;
+    }
+  }
+  if (count >= needed) {
+    return candidate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace leap

@@ -1,0 +1,23 @@
+// Tunables for the Leap prefetcher, with the paper's defaults
+// (section 5 "Methodology": Hsize = 32, PWsize_max = 8; Algorithm 1 example
+// uses Nsplit = 2).
+#ifndef LEAP_SRC_CORE_PARAMS_H_
+#define LEAP_SRC_CORE_PARAMS_H_
+
+#include <cstddef>
+
+namespace leap {
+
+struct LeapParams {
+  // Capacity of the per-process AccessHistory circular queue (Hsize).
+  size_t history_size = 32;
+  // Initial trend-detection window is history_size / nsplit; the window
+  // doubles until a majority is found or it exceeds history_size.
+  size_t nsplit = 2;
+  // Maximum prefetch window (PWsize_max).
+  size_t max_prefetch_window = 8;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_CORE_PARAMS_H_

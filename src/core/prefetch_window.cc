@@ -1,0 +1,45 @@
+#include "src/core/prefetch_window.h"
+
+#include <algorithm>
+
+namespace leap {
+
+size_t RoundUpPow2(size_t v) {
+  if (v == 0) {
+    return 0;
+  }
+  size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+PrefetchWindow::PrefetchWindow(size_t max_window)
+    : max_window_(std::max<size_t>(1, max_window)) {}
+
+size_t PrefetchWindow::ComputeSize(bool follows_trend) {
+  size_t size = 0;
+  if (hits_since_last_ == 0) {
+    // No prefetched page was consumed since the last decision: either probe
+    // a single page along the trend or head toward suspension.
+    size = follows_trend ? 1 : 0;
+  } else {
+    size = RoundUpPow2(static_cast<size_t>(hits_since_last_) + 1);
+    size = std::min(size, max_window_);
+  }
+  // Smooth shrink: never fall below half the previous window in one step.
+  if (size < last_size_ / 2) {
+    size = last_size_ / 2;
+  }
+  hits_since_last_ = 0;
+  last_size_ = size;
+  return size;
+}
+
+void PrefetchWindow::Reset() {
+  last_size_ = 0;
+  hits_since_last_ = 0;
+}
+
+}  // namespace leap

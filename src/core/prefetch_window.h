@@ -1,0 +1,48 @@
+// Algorithm 2, GetPrefetchWindowSize: adaptive prefetch window driven by
+// the effectiveness (prefetched-cache hits) observed between consecutive
+// prefetch decisions.
+//
+// - No hits and the fault follows the current trend  -> probe with 1 page.
+// - No hits and the fault breaks the trend           -> move toward suspend.
+// - Hits since the last decision                     -> grow to the next
+//   power of two above Chit + 1, capped at PWsize_max.
+// - Any decrease is smoothed: the window never drops below half of its
+//   previous value in one step, so momentary irregularities cannot
+//   immediately suspend prefetching (paper section 3.2.2).
+#ifndef LEAP_SRC_CORE_PREFETCH_WINDOW_H_
+#define LEAP_SRC_CORE_PREFETCH_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace leap {
+
+class PrefetchWindow {
+ public:
+  explicit PrefetchWindow(size_t max_window);
+
+  // Records one hit on a prefetched cache page (Chit += 1).
+  void OnPrefetchHit() { ++hits_since_last_; }
+
+  // Computes PWsize_t for the current fault and rolls the state forward
+  // (resets Chit, remembers PWsize_{t-1}).
+  size_t ComputeSize(bool follows_trend);
+
+  size_t last_size() const { return last_size_; }
+  uint64_t hits_since_last() const { return hits_since_last_; }
+  size_t max_window() const { return max_window_; }
+
+  void Reset();
+
+ private:
+  size_t max_window_;
+  size_t last_size_ = 0;  // PWsize_{t-1}
+  uint64_t hits_since_last_ = 0;  // Chit
+};
+
+// Smallest power of two >= v (v = 0 maps to 0).
+size_t RoundUpPow2(size_t v);
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_CORE_PREFETCH_WINDOW_H_

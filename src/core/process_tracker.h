@@ -1,0 +1,60 @@
+// Process-isolated page access tracking (paper section 4.1).
+//
+// The kernel integration hooks do_swap_page() and logs each fault into the
+// owning process's AccessHistory; here the machine calls OnFault(pid, slot)
+// from its fault handler. Isolation is the point: interleaved fault streams
+// from different processes would destroy each other's trends if they shared
+// one history (section 2.3).
+#ifndef LEAP_SRC_CORE_PROCESS_TRACKER_H_
+#define LEAP_SRC_CORE_PROCESS_TRACKER_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "src/core/leap_prefetcher.h"
+#include "src/core/params.h"
+#include "src/sim/types.h"
+
+namespace leap {
+
+class ProcessPageTracker {
+ public:
+  explicit ProcessPageTracker(const LeapParams& params) : params_(params) {}
+
+  // Logs a cache *miss* for `pid` and returns Leap's prefetch decision.
+  // Creates the per-process state on first use.
+  PrefetchDecision OnFault(Pid pid, SwapSlot slot) {
+    return ForProcess(pid).OnMiss(slot);
+  }
+
+  // Logs a remote access that was served from the cache (the tracker sees
+  // every do_swap_page, not just misses).
+  void OnCacheAccess(Pid pid, SwapSlot slot) {
+    ForProcess(pid).RecordAccess(slot);
+  }
+
+  // Credits a prefetched-page hit to the owning process's window sizing.
+  void OnPrefetchHit(Pid pid) { ForProcess(pid).OnPrefetchHit(); }
+
+  LeapPrefetcher& ForProcess(Pid pid) {
+    auto it = trackers_.find(pid);
+    if (it == trackers_.end()) {
+      it = trackers_.emplace(pid, LeapPrefetcher(params_)).first;
+    }
+    return it->second;
+  }
+
+  // Drops per-process state (process exit).
+  void RemoveProcess(Pid pid) { trackers_.erase(pid); }
+
+  size_t process_count() const { return trackers_.size(); }
+  const LeapParams& params() const { return params_; }
+
+ private:
+  LeapParams params_;
+  std::unordered_map<Pid, LeapPrefetcher> trackers_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_CORE_PROCESS_TRACKER_H_

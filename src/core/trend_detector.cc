@@ -1,0 +1,28 @@
+#include "src/core/trend_detector.h"
+
+#include <algorithm>
+
+#include "src/core/majority.h"
+
+namespace leap {
+
+std::optional<PageDelta> TrendDetector::FindTrend(
+    const AccessHistory& history) const {
+  if (history.empty()) {
+    return std::nullopt;
+  }
+  const size_t hsize = history.capacity();
+  size_t w = std::max<size_t>(1, hsize / nsplit_);
+  for (;;) {
+    const auto maj = MajorityOfNewest(history, w);
+    if (maj.has_value()) {
+      return maj;
+    }
+    if (w >= hsize || w >= history.size()) {
+      return std::nullopt;
+    }
+    w *= 2;
+  }
+}
+
+}  // namespace leap

@@ -1,0 +1,43 @@
+// cgroup-style per-process resident-memory limit.
+//
+// The paper constrains each application to {100, 50, 25}% of its peak
+// memory with cgroups; exceeding the limit forces pages out through the
+// swap path. This mirrors that: charging above the limit signals the fault
+// handler to reclaim from this process before mapping new pages.
+#ifndef LEAP_SRC_MEM_CGROUP_H_
+#define LEAP_SRC_MEM_CGROUP_H_
+
+#include <cstddef>
+
+namespace leap {
+
+class Cgroup {
+ public:
+  // `limit_pages` == 0 means unlimited.
+  explicit Cgroup(size_t limit_pages = 0) : limit_pages_(limit_pages) {}
+
+  void Charge(size_t pages = 1) { resident_pages_ += pages; }
+  void Uncharge(size_t pages = 1) {
+    resident_pages_ -= pages > resident_pages_ ? resident_pages_ : pages;
+  }
+
+  bool OverLimit() const {
+    return limit_pages_ != 0 && resident_pages_ > limit_pages_;
+  }
+  // Pages that must be reclaimed to get back under the limit.
+  size_t ExcessPages() const {
+    return OverLimit() ? resident_pages_ - limit_pages_ : 0;
+  }
+
+  size_t resident_pages() const { return resident_pages_; }
+  size_t limit_pages() const { return limit_pages_; }
+  void set_limit_pages(size_t limit) { limit_pages_ = limit; }
+
+ private:
+  size_t limit_pages_;
+  size_t resident_pages_ = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_MEM_CGROUP_H_

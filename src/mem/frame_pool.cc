@@ -1,0 +1,36 @@
+#include "src/mem/frame_pool.h"
+
+namespace leap {
+
+FramePool::FramePool(size_t capacity)
+    : capacity_(capacity), allocated_(capacity, false) {
+  free_list_.reserve(capacity);
+  // Push in reverse so low PFNs come out first; keeps traces readable.
+  for (size_t i = capacity; i > 0; --i) {
+    free_list_.push_back(static_cast<Pfn>(i - 1));
+  }
+}
+
+std::optional<Pfn> FramePool::Allocate() {
+  if (free_list_.empty()) {
+    return std::nullopt;
+  }
+  const Pfn pfn = free_list_.back();
+  free_list_.pop_back();
+  allocated_[pfn] = true;
+  return pfn;
+}
+
+void FramePool::Free(Pfn pfn) {
+  if (pfn >= capacity_ || !allocated_[pfn]) {
+    return;
+  }
+  allocated_[pfn] = false;
+  free_list_.push_back(pfn);
+}
+
+bool FramePool::IsAllocated(Pfn pfn) const {
+  return pfn < capacity_ && allocated_[pfn];
+}
+
+}  // namespace leap

@@ -1,0 +1,42 @@
+// Fixed-capacity physical frame allocator standing in for local DRAM.
+//
+// Frames are opaque handles; the simulator tracks only occupancy, not data.
+// Capacity bounds the machine's resident set the same way a host's DRAM
+// (or a cgroup limit on it) bounds the real system's.
+#ifndef LEAP_SRC_MEM_FRAME_POOL_H_
+#define LEAP_SRC_MEM_FRAME_POOL_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+class FramePool {
+ public:
+  explicit FramePool(size_t capacity);
+
+  // Allocates a free frame; nullopt when the pool is exhausted (caller must
+  // reclaim first).
+  std::optional<Pfn> Allocate();
+
+  // Returns a frame to the pool. Double-free is a programming error and is
+  // ignored defensively.
+  void Free(Pfn pfn);
+
+  size_t capacity() const { return capacity_; }
+  size_t free_count() const { return free_list_.size(); }
+  size_t used_count() const { return capacity_ - free_list_.size(); }
+  bool IsAllocated(Pfn pfn) const;
+
+ private:
+  size_t capacity_;
+  std::vector<Pfn> free_list_;
+  std::vector<bool> allocated_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_MEM_FRAME_POOL_H_

@@ -1,0 +1,103 @@
+// O(1) LRU list keyed by (pid, vpn), the reclaim order for resident pages.
+//
+// kswapd (src/paging/kswapd) scans from the cold end, exactly like the
+// kernel walking the inactive list. Kept header-only: it is a small
+// template used with two key types.
+#ifndef LEAP_SRC_MEM_LRU_LIST_H_
+#define LEAP_SRC_MEM_LRU_LIST_H_
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+template <typename Key, typename Hash = std::hash<Key>>
+class LruList {
+ public:
+  // Inserts or refreshes `key` as most-recently-used.
+  void Touch(const Key& key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.erase(it->second);
+    }
+    order_.push_front(key);
+    index_[key] = order_.begin();
+  }
+
+  // Removes `key`; returns true if it was present.
+  bool Remove(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  // Least-recently-used key, without removing it.
+  std::optional<Key> Coldest() const {
+    if (order_.empty()) {
+      return std::nullopt;
+    }
+    return order_.back();
+  }
+
+  // Removes and returns the LRU key.
+  std::optional<Key> PopColdest() {
+    if (order_.empty()) {
+      return std::nullopt;
+    }
+    Key key = order_.back();
+    order_.pop_back();
+    index_.erase(key);
+    return key;
+  }
+
+  // The n coldest keys, coldest first (for batch reclaim scans).
+  std::vector<Key> ColdestN(size_t n) const {
+    std::vector<Key> out;
+    out.reserve(std::min(n, order_.size()));
+    for (auto it = order_.rbegin(); it != order_.rend() && out.size() < n;
+         ++it) {
+      out.push_back(*it);
+    }
+    return out;
+  }
+
+  bool Contains(const Key& key) const { return index_.count(key) != 0; }
+  size_t size() const { return order_.size(); }
+  bool empty() const { return order_.empty(); }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::list<Key> order_;  // front = hottest
+  std::unordered_map<Key, typename std::list<Key>::iterator, Hash> index_;
+};
+
+// Key for process-owned resident pages.
+struct PidVpn {
+  Pid pid;
+  Vpn vpn;
+  bool operator==(const PidVpn&) const = default;
+};
+
+struct PidVpnHash {
+  size_t operator()(const PidVpn& k) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(k.pid) << 48) ^ k.vpn);
+  }
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_MEM_LRU_LIST_H_

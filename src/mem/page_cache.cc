@@ -1,0 +1,34 @@
+#include "src/mem/page_cache.h"
+
+namespace leap {
+
+bool PageCache::Insert(SwapSlot slot, const CacheEntry& entry) {
+  const auto [it, inserted] = entries_.emplace(slot, entry);
+  if (inserted) {
+    lru_.Touch(slot);
+  }
+  return inserted;
+}
+
+CacheEntry* PageCache::Lookup(SwapSlot slot) {
+  auto it = entries_.find(slot);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CacheEntry* PageCache::Lookup(SwapSlot slot) const {
+  auto it = entries_.find(slot);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::optional<CacheEntry> PageCache::Remove(SwapSlot slot) {
+  auto it = entries_.find(slot);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  CacheEntry entry = it->second;
+  entries_.erase(it);
+  lru_.Remove(slot);
+  return entry;
+}
+
+}  // namespace leap

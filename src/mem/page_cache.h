@@ -1,0 +1,69 @@
+// Swap cache analog: backing-store offset -> cached frame.
+//
+// Pages land here on swap-in (demand or prefetch); a fault that finds its
+// slot here is a cache hit. Entries carry the I/O completion time so an
+// access racing an in-flight prefetch blocks for the residual latency
+// instead of re-issuing the read - the kernel's "page locked until read
+// completes" behavior.
+#ifndef LEAP_SRC_MEM_PAGE_CACHE_H_
+#define LEAP_SRC_MEM_PAGE_CACHE_H_
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "src/mem/lru_list.h"
+#include "src/sim/types.h"
+
+namespace leap {
+
+struct CacheEntry {
+  Pfn pfn = kInvalidPfn;
+  Pid pid = 0;
+  bool prefetched = false;
+  // When the backing read finishes; accesses before this wait the residue.
+  SimTimeNs ready_at = 0;
+  // When the entry was inserted (for eviction-wait accounting, Figure 4).
+  SimTimeNs added_at = 0;
+  // First-hit time; 0 while unreferenced. Drives timeliness (Figure 10b)
+  // and the lazy-eviction waste measurement.
+  SimTimeNs first_hit_at = 0;
+  // Dirty file page awaiting writeback (VFS mode only).
+  bool dirty = false;
+};
+
+class PageCache {
+ public:
+  // Inserts an entry; returns false if the slot is already cached.
+  bool Insert(SwapSlot slot, const CacheEntry& entry);
+
+  CacheEntry* Lookup(SwapSlot slot);
+  const CacheEntry* Lookup(SwapSlot slot) const;
+
+  // Removes the entry; returns it if present.
+  std::optional<CacheEntry> Remove(SwapSlot slot);
+
+  // Marks recency for cache-internal LRU eviction (used when the prefetch
+  // cache itself is size-limited, Figure 12).
+  void TouchLru(SwapSlot slot) { lru_.Touch(slot); }
+  std::optional<SwapSlot> ColdestSlot() const { return lru_.Coldest(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Walks all entries (order unspecified); used by reclaim scans and stats.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [slot, entry] : entries_) {
+      fn(slot, entry);
+    }
+  }
+
+ private:
+  std::unordered_map<SwapSlot, CacheEntry> entries_;
+  LruList<SwapSlot> lru_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_MEM_PAGE_CACHE_H_

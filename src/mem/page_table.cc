@@ -1,0 +1,29 @@
+#include "src/mem/page_table.h"
+
+namespace leap {
+
+void PageTable::Map(Vpn vpn, Pfn pfn) {
+  entries_[vpn] = PageTableEntry{pfn, false};
+}
+
+std::optional<PageTableEntry> PageTable::Unmap(Vpn vpn) {
+  auto it = entries_.find(vpn);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  PageTableEntry entry = it->second;
+  entries_.erase(it);
+  return entry;
+}
+
+PageTableEntry* PageTable::Find(Vpn vpn) {
+  auto it = entries_.find(vpn);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const PageTableEntry* PageTable::Find(Vpn vpn) const {
+  auto it = entries_.find(vpn);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace leap

@@ -1,0 +1,39 @@
+// Per-process virtual page table: vpn -> frame, plus dirty/accessed state.
+#ifndef LEAP_SRC_MEM_PAGE_TABLE_H_
+#define LEAP_SRC_MEM_PAGE_TABLE_H_
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+struct PageTableEntry {
+  Pfn pfn = kInvalidPfn;
+  bool dirty = false;
+};
+
+class PageTable {
+ public:
+  // Maps vpn to pfn; remapping an already-present vpn overwrites.
+  void Map(Vpn vpn, Pfn pfn);
+
+  // Removes the mapping; returns the entry that was present, if any.
+  std::optional<PageTableEntry> Unmap(Vpn vpn);
+
+  // Mutable lookup; nullptr when not present.
+  PageTableEntry* Find(Vpn vpn);
+  const PageTableEntry* Find(Vpn vpn) const;
+
+  bool IsPresent(Vpn vpn) const { return entries_.count(vpn) != 0; }
+  size_t resident_pages() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<Vpn, PageTableEntry> entries_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_MEM_PAGE_TABLE_H_

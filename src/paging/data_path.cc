@@ -1,0 +1,58 @@
+#include "src/paging/data_path.h"
+
+namespace leap {
+
+DefaultDataPath::DefaultDataPath(const DefaultPathConfig& config,
+                                 BackingStore* store)
+    : config_(config), queue_(config.block, store) {}
+
+SimTimeNs DefaultDataPath::ReadPages(std::span<const SwapSlot> slots,
+                                     SimTimeNs now, Rng& rng,
+                                     std::span<SimTimeNs> ready_at) {
+  queue_.SubmitBatch(slots, /*write=*/false, now, rng, ready_at);
+  return ready_at.empty() ? now : ready_at[0];
+}
+
+SimTimeNs DefaultDataPath::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
+  return queue_.SubmitWrite(slot, now, rng);
+}
+
+SimTimeNs DefaultDataPath::CacheHitCost(Rng& rng) {
+  if (config_.hit_jitter_ns == 0) {
+    return config_.hit_cost_ns;
+  }
+  return config_.hit_cost_ns + rng.NextU64(config_.hit_jitter_ns);
+}
+
+LeapDataPath::LeapDataPath(const LeapPathConfig& config, BackingStore* store)
+    : config_(config),
+      store_(store),
+      entry_(LatencyModel::Normal(config.entry_mean_ns, config.entry_stddev_ns,
+                                  config.entry_min_ns)) {}
+
+SimTimeNs LeapDataPath::ReadPages(std::span<const SwapSlot> slots,
+                                  SimTimeNs now, Rng& rng,
+                                  std::span<SimTimeNs> ready_at) {
+  if (slots.empty()) {
+    return now;
+  }
+  // One lean entry for the fault, then per-page asynchronous submission;
+  // no sorting, merging, or request-granularity completion.
+  const SimTimeNs submit = now + entry_.Sample(rng);
+  store_->ReadPages(slots, submit, rng, ready_at);
+  return ready_at[0];
+}
+
+SimTimeNs LeapDataPath::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
+  const SimTimeNs submit = now + entry_.Sample(rng);
+  return store_->WritePage(slot, submit, rng);
+}
+
+SimTimeNs LeapDataPath::CacheHitCost(Rng& rng) {
+  if (config_.hit_jitter_ns == 0) {
+    return config_.hit_cost_ns;
+  }
+  return config_.hit_cost_ns + rng.NextU64(config_.hit_jitter_ns);
+}
+
+}  // namespace leap

@@ -1,0 +1,43 @@
+#include "src/paging/swap_manager.h"
+
+namespace leap {
+
+SwapSlot SwapManager::SlotFor(Pid pid, Vpn vpn) {
+  const uint64_t key = Key(pid, vpn);
+  auto it = forward_.find(key);
+  if (it != forward_.end()) {
+    return it->second;
+  }
+  const SwapSlot slot = next_slot_++;
+  forward_[key] = slot;
+  reverse_[slot] = PidVpn{pid, vpn};
+  return slot;
+}
+
+void SwapManager::ReleaseSlot(Pid pid, Vpn vpn) {
+  const uint64_t key = Key(pid, vpn);
+  auto it = forward_.find(key);
+  if (it == forward_.end()) {
+    return;
+  }
+  reverse_.erase(it->second);
+  forward_.erase(it);
+}
+
+std::optional<SwapSlot> SwapManager::FindSlot(Pid pid, Vpn vpn) const {
+  auto it = forward_.find(Key(pid, vpn));
+  if (it == forward_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<PidVpn> SwapManager::OwnerOf(SwapSlot slot) const {
+  auto it = reverse_.find(slot);
+  if (it == reverse_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace leap

@@ -1,0 +1,59 @@
+// Swap-slot allocation with Linux's sequential-cluster layout.
+//
+// Slots are handed out in ascending order within clusters, so pages evicted
+// together land on contiguous offsets. Because every process shares one
+// swap space, interleaved evictions from different processes interleave
+// their slots - the exact property that confuses sequence-based prefetchers
+// (paper section 2.3) and that Leap's per-process histories tolerate.
+#ifndef LEAP_SRC_PAGING_SWAP_MANAGER_H_
+#define LEAP_SRC_PAGING_SWAP_MANAGER_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "src/mem/lru_list.h"
+#include "src/sim/types.h"
+
+namespace leap {
+
+class SwapManager {
+ public:
+  explicit SwapManager(size_t cluster_pages = 256)
+      : cluster_pages_(cluster_pages == 0 ? 1 : cluster_pages) {}
+
+  // Slot for (pid, vpn), allocating one on first swap-out. A page keeps its
+  // slot for life (rewrite in place), like the kernel while a swap entry
+  // stays referenced.
+  SwapSlot SlotFor(Pid pid, Vpn vpn);
+
+  // Lookup without allocation.
+  std::optional<SwapSlot> FindSlot(Pid pid, Vpn vpn) const;
+
+  // Frees the slot association (swap_free semantics): called when a
+  // swapped-in page is re-dirtied, so its next eviction allocates a fresh
+  // slot. This is what progressively scrambles the swap layout relative to
+  // the virtual layout on write-heavy workloads.
+  void ReleaseSlot(Pid pid, Vpn vpn);
+
+  // Reverse mapping (used when a cached slot must be re-associated).
+  std::optional<PidVpn> OwnerOf(SwapSlot slot) const;
+
+  size_t allocated_slots() const { return forward_.size(); }
+  // High-water mark of the swap area: one past the largest slot ever
+  // handed out (slots freed by ReleaseSlot still lie below it).
+  SwapSlot high_water() const { return next_slot_; }
+
+ private:
+  size_t cluster_pages_;
+  SwapSlot next_slot_ = 0;
+  std::unordered_map<uint64_t, SwapSlot> forward_;  // key: pid<<48 ^ vpn
+  std::unordered_map<SwapSlot, PidVpn> reverse_;
+
+  static uint64_t Key(Pid pid, Vpn vpn) {
+    return (static_cast<uint64_t>(pid) << 48) ^ vpn;
+  }
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_PAGING_SWAP_MANAGER_H_

@@ -1,0 +1,98 @@
+#include "src/prefetch/ghb.h"
+
+#include <algorithm>
+
+namespace leap {
+
+GhbPrefetcher::GhbPrefetcher(const GhbConfig& config) : config_(config) {
+  buffer_.reserve(config_.buffer_size);
+}
+
+std::vector<SwapSlot> GhbPrefetcher::OnFault(Pid pid, SwapSlot slot) {
+  std::vector<SwapSlot> candidates;
+
+  const auto last_it = last_addr_.find(pid);
+  if (last_it == last_addr_.end()) {
+    last_addr_[pid] = slot;
+    return candidates;
+  }
+  const PageDelta delta = static_cast<PageDelta>(slot) -
+                          static_cast<PageDelta>(last_it->second);
+  last_it->second = slot;
+
+  const auto prev_delta_it = last_delta_.find(pid);
+  const bool have_pair = prev_delta_it != last_delta_.end();
+  const PageDelta prev_delta = have_pair ? prev_delta_it->second : 0;
+  last_delta_[pid] = delta;
+
+  // Record the new delta into the global buffer, linking same-signature
+  // occurrences (signature = the delta pair that PRECEDED this entry).
+  size_t pos = head_;
+  Entry entry;
+  entry.delta = delta;
+  if (have_pair) {
+    const uint64_t sig = Signature(prev_delta, delta);
+    const auto idx = index_.find(sig);
+    entry.prev = idx == index_.end() ? kNoLink : idx->second;
+    index_[sig] = pos;
+  }
+  if (buffer_.size() < config_.buffer_size) {
+    buffer_.push_back(entry);
+  } else {
+    buffer_[head_] = entry;
+    full_ = true;
+  }
+  head_ = (head_ + 1) % config_.buffer_size;
+
+  if (!have_pair) {
+    return candidates;
+  }
+
+  // Correlate: find past occurrences of the current delta pair and replay
+  // the deltas that followed them.
+  const uint64_t sig = Signature(prev_delta, delta);
+  auto idx = index_.find(sig);
+  if (idx == index_.end()) {
+    return candidates;
+  }
+  size_t chains = 0;
+  size_t link = idx->second;
+  while (link != kNoLink && chains < config_.max_chains) {
+    // Replay up to `degree` deltas following position `link`.
+    int64_t addr = static_cast<int64_t>(slot);
+    for (size_t step = 1; step <= config_.degree; ++step) {
+      const size_t next_pos = (link + step) % config_.buffer_size;
+      if (next_pos == head_ || (next_pos >= buffer_.size() && !full_)) {
+        break;
+      }
+      if (next_pos >= buffer_.size()) {
+        break;
+      }
+      addr += buffer_[next_pos].delta;
+      if (addr < 0) {
+        break;
+      }
+      candidates.push_back(static_cast<SwapSlot>(addr));
+    }
+    if (link >= buffer_.size()) {
+      break;
+    }
+    const size_t next_link = buffer_[link].prev;
+    if (next_link == link) {
+      break;
+    }
+    link = next_link;
+    ++chains;
+  }
+  // Dedup while preserving order.
+  std::vector<SwapSlot> unique;
+  for (SwapSlot s : candidates) {
+    if (std::find(unique.begin(), unique.end(), s) == unique.end() &&
+        s != slot) {
+      unique.push_back(s);
+    }
+  }
+  return unique;
+}
+
+}  // namespace leap

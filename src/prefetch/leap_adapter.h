@@ -1,0 +1,43 @@
+// Adapts the Leap core (ProcessPageTracker + per-process LeapPrefetcher)
+// to the generic Prefetcher interface used by the simulated data paths.
+#ifndef LEAP_SRC_PREFETCH_LEAP_ADAPTER_H_
+#define LEAP_SRC_PREFETCH_LEAP_ADAPTER_H_
+
+#include "src/core/leap.h"
+#include "src/prefetch/prefetcher.h"
+
+namespace leap {
+
+class LeapAdapter : public Prefetcher {
+ public:
+  explicit LeapAdapter(const LeapParams& params = LeapParams())
+      : tracker_(params) {}
+
+  std::vector<SwapSlot> OnFault(Pid pid, SwapSlot slot) override {
+    last_decision_ = tracker_.OnFault(pid, slot);
+    return last_decision_.pages;
+  }
+
+  // Leap tracks cache look-ups, not just misses (section 4.1).
+  void OnCacheAccess(Pid pid, SwapSlot slot) override {
+    tracker_.OnCacheAccess(pid, slot);
+  }
+
+  void OnPrefetchHit(Pid pid, SwapSlot) override {
+    tracker_.OnPrefetchHit(pid);
+  }
+
+  std::string name() const override { return "leap"; }
+
+  // Introspection for tests and the pattern-explorer example.
+  const PrefetchDecision& last_decision() const { return last_decision_; }
+  ProcessPageTracker& tracker() { return tracker_; }
+
+ private:
+  ProcessPageTracker tracker_;
+  PrefetchDecision last_decision_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_PREFETCH_LEAP_ADAPTER_H_

@@ -1,0 +1,14 @@
+#include "src/prefetch/next_n_line.h"
+
+namespace leap {
+
+std::vector<SwapSlot> NextNLinePrefetcher::OnFault(Pid, SwapSlot slot) {
+  std::vector<SwapSlot> pages;
+  pages.reserve(n_);
+  for (size_t i = 1; i <= n_; ++i) {
+    pages.push_back(slot + i);
+  }
+  return pages;
+}
+
+}  // namespace leap

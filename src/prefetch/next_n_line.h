@@ -1,0 +1,25 @@
+// Next-N-Line prefetcher [Mittal survey]: on every fault, aggressively
+// fetch the next N sequentially-following pages. Maximum simplicity and
+// maximum cache pollution on anything non-sequential.
+#ifndef LEAP_SRC_PREFETCH_NEXT_N_LINE_H_
+#define LEAP_SRC_PREFETCH_NEXT_N_LINE_H_
+
+#include "src/prefetch/prefetcher.h"
+
+namespace leap {
+
+class NextNLinePrefetcher : public Prefetcher {
+ public:
+  explicit NextNLinePrefetcher(size_t n = 8) : n_(n) {}
+
+  std::vector<SwapSlot> OnFault(Pid pid, SwapSlot slot) override;
+  void OnPrefetchHit(Pid, SwapSlot) override {}
+  std::string name() const override { return "next-n-line"; }
+
+ private:
+  size_t n_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_PREFETCH_NEXT_N_LINE_H_

@@ -1,0 +1,44 @@
+// Prefetcher interface shared by Leap and the three baselines the paper
+// evaluates against (section 5.2.3): Next-N-Line, Stride, and Linux
+// Read-Ahead.
+#ifndef LEAP_SRC_PREFETCH_PREFETCHER_H_
+#define LEAP_SRC_PREFETCH_PREFETCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  // Called on every cache MISS (the swapin_readahead position in the fault
+  // path). Returns backing-store offsets to prefetch alongside the demand
+  // page; never includes `slot` itself.
+  virtual std::vector<SwapSlot> OnFault(Pid pid, SwapSlot slot) = 0;
+
+  // Called on every remote access served from the page cache. Leap's page
+  // access tracker hooks do_swap_page, so its delta history sees hits too
+  // (section 4.1); legacy prefetchers ignore this.
+  virtual void OnCacheAccess(Pid, SwapSlot) {}
+
+  // Notification that a page this prefetcher brought in got its first hit.
+  virtual void OnPrefetchHit(Pid pid, SwapSlot slot) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Null prefetcher: demand paging only.
+class NoPrefetcher : public Prefetcher {
+ public:
+  std::vector<SwapSlot> OnFault(Pid, SwapSlot) override { return {}; }
+  void OnPrefetchHit(Pid, SwapSlot) override {}
+  std::string name() const override { return "none"; }
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_PREFETCH_PREFETCHER_H_

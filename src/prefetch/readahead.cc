@@ -1,0 +1,49 @@
+#include "src/prefetch/readahead.h"
+
+#include <algorithm>
+
+namespace leap {
+
+std::vector<SwapSlot> ReadAheadPrefetcher::OnFault(Pid pid, SwapSlot slot) {
+  State& s = states_[pid];
+
+  if (s.last == kInvalidSlot) {
+    s.window = min_window_;
+  } else {
+    // Sequential streams fault once per window (the pages in between were
+    // prefetched), so "sequential" means either literally consecutive
+    // faults or a near-forward fault whose previous window was consumed.
+    const bool consecutive = slot == s.last + 1;
+    const bool consumed_near_forward =
+        s.hits_since_issue > 0 && slot > s.last &&
+        slot - s.last <= 2 * std::max<size_t>(1, s.window);
+    if (consecutive || consumed_near_forward) {
+      const size_t grown =
+          s.hits_since_issue > 0 ? s.window * 2 : s.window + 2;
+      s.window = std::clamp(grown, min_window_, max_window_);
+    } else {
+      // No pattern assumed; shrink toward the minimum cluster.
+      s.window = std::max(min_window_, s.window / 2);
+    }
+  }
+  s.last = slot;
+  s.hits_since_issue = 0;
+
+  // Aligned block containing the fault (kernel cluster alignment).
+  const SwapSlot base = slot - slot % s.window;
+  std::vector<SwapSlot> pages;
+  pages.reserve(s.window);
+  for (size_t i = 0; i < s.window; ++i) {
+    const SwapSlot candidate = base + i;
+    if (candidate != slot) {
+      pages.push_back(candidate);
+    }
+  }
+  return pages;
+}
+
+void ReadAheadPrefetcher::OnPrefetchHit(Pid pid, SwapSlot) {
+  ++states_[pid].hits_since_issue;
+}
+
+}  // namespace leap

@@ -1,0 +1,44 @@
+// Linux Read-Ahead model (swapin_readahead / ondemand file readahead).
+//
+// Behaviour distilled from the paper's section 2.3 and the kernel:
+//  - It looks only at the last two faults. Two consecutive-page faults =>
+//    optimistic sequential mode: bring an aligned window of pages and keep
+//    doubling it up to `max_window` while prefetches keep getting hit.
+//  - A non-consecutive fault => pessimism: the window collapses (down to
+//    `min_window`), but an aligned cluster around the fault is still read,
+//    which is pure pollution under strided access.
+//  - Windows are aligned blocks containing the faulting page, matching the
+//    kernel's cluster alignment, so the demand page sits inside the block.
+#ifndef LEAP_SRC_PREFETCH_READAHEAD_H_
+#define LEAP_SRC_PREFETCH_READAHEAD_H_
+
+#include <unordered_map>
+
+#include "src/prefetch/prefetcher.h"
+
+namespace leap {
+
+class ReadAheadPrefetcher : public Prefetcher {
+ public:
+  ReadAheadPrefetcher(size_t min_window = 2, size_t max_window = 8)
+      : min_window_(min_window), max_window_(max_window) {}
+
+  std::vector<SwapSlot> OnFault(Pid pid, SwapSlot slot) override;
+  void OnPrefetchHit(Pid pid, SwapSlot slot) override;
+  std::string name() const override { return "read-ahead"; }
+
+ private:
+  struct State {
+    SwapSlot last = kInvalidSlot;
+    size_t window = 0;  // established after the first fault
+    uint64_t hits_since_issue = 0;
+  };
+
+  size_t min_window_;
+  size_t max_window_;
+  std::unordered_map<Pid, State> states_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_PREFETCH_READAHEAD_H_

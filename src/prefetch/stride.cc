@@ -1,0 +1,50 @@
+#include "src/prefetch/stride.h"
+
+#include <algorithm>
+
+namespace leap {
+
+std::vector<SwapSlot> StridePrefetcher::OnFault(Pid pid, SwapSlot slot) {
+  Stream& s = streams_[pid];
+  std::vector<SwapSlot> pages;
+
+  if (s.last != kInvalidSlot) {
+    const PageDelta d =
+        static_cast<PageDelta>(slot) - static_cast<PageDelta>(s.last);
+    if (d != 0 && d == s.stride) {
+      // Stride repeated: (re)confirm and adapt depth to recent accuracy.
+      if (s.confirmed) {
+        if (s.hits_since_issue > 0) {
+          s.depth = std::min(max_depth_, s.depth * 2);
+        } else {
+          s.depth = std::max<size_t>(1, s.depth / 2);
+        }
+      } else {
+        s.confirmed = true;
+        s.depth = std::max<size_t>(1, s.depth);
+      }
+      s.hits_since_issue = 0;
+      int64_t addr = static_cast<int64_t>(slot);
+      for (size_t i = 0; i < s.depth; ++i) {
+        addr += d;
+        if (addr < 0) {
+          break;
+        }
+        pages.push_back(static_cast<SwapSlot>(addr));
+      }
+    } else {
+      // Strict detection: any break kills the stream immediately.
+      s.stride = d;
+      s.confirmed = false;
+      s.depth = std::max<size_t>(1, s.depth / 2);
+    }
+  }
+  s.last = slot;
+  return pages;
+}
+
+void StridePrefetcher::OnPrefetchHit(Pid pid, SwapSlot) {
+  ++streams_[pid].hits_since_issue;
+}
+
+}  // namespace leap

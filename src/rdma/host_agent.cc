@@ -1,0 +1,143 @@
+#include "src/rdma/host_agent.h"
+
+#include <algorithm>
+
+namespace leap {
+
+HostAgent::HostAgent(const HostAgentConfig& config,
+                     std::vector<RemoteAgent*> remote_nodes, uint64_t seed)
+    : config_(config),
+      nodes_(std::move(remote_nodes)),
+      nic_(config.nic),
+      placement_rng_(seed) {}
+
+RemoteAgent* HostAgent::Node(uint32_t id) const {
+  for (RemoteAgent* node : nodes_) {
+    if (node->node_id() == id) {
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+uint32_t HostAgent::PickNode(const std::vector<uint32_t>& exclude) {
+  auto eligible = [&](const RemoteAgent* node) {
+    if (node->FreeSlabs() == 0) {
+      return false;
+    }
+    return std::find(exclude.begin(), exclude.end(), node->node_id()) ==
+           exclude.end();
+  };
+  std::vector<RemoteAgent*> pool;
+  for (RemoteAgent* node : nodes_) {
+    if (eligible(node)) {
+      pool.push_back(node);
+    }
+  }
+  if (pool.empty()) {
+    // Full pool: fall back to the least-loaded excluded-ineligible node so
+    // the simulation keeps running (real Infiniswap falls back to disk).
+    return nodes_.front()->node_id();
+  }
+  if (pool.size() == 1) {
+    return pool.front()->node_id();
+  }
+  // Power of two choices: sample two distinct candidates, keep the less
+  // loaded one.
+  const size_t a = placement_rng_.NextU64(pool.size());
+  size_t b = placement_rng_.NextU64(pool.size() - 1);
+  if (b >= a) {
+    ++b;
+  }
+  RemoteAgent* first = pool[a];
+  RemoteAgent* second = pool[b];
+  return first->mapped_slabs() <= second->mapped_slabs() ? first->node_id()
+                                                         : second->node_id();
+}
+
+void HostAgent::EnsureSlabMapped(SwapSlot slot) {
+  const size_t slab = slot / config_.slab_pages;
+  while (slab_map_.size() <= slab) {
+    SlabMapping mapping;
+    const size_t replicas = std::min(config_.replicas, nodes_.size());
+    for (size_t r = 0; r < std::max<size_t>(1, replicas); ++r) {
+      const uint32_t node_id = PickNode(mapping.nodes);
+      mapping.nodes.push_back(node_id);
+      if (RemoteAgent* node = Node(node_id)) {
+        node->MapSlab();
+      }
+    }
+    slab_map_.push_back(std::move(mapping));
+  }
+}
+
+const SlabMapping& HostAgent::MappingForSlot(SwapSlot slot) {
+  EnsureSlabMapped(slot);
+  return slab_map_[slot / config_.slab_pages];
+}
+
+size_t HostAgent::QueueFor(SwapSlot slot) const {
+  // Splitmix-style scramble so contiguous slots land on distinct queues.
+  uint64_t z = slot + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return static_cast<size_t>(z % nic_.num_queues());
+}
+
+void HostAgent::ReadPages(std::span<const SwapSlot> slots, SimTimeNs now,
+                          Rng& rng, std::span<SimTimeNs> ready_at) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EnsureSlabMapped(slots[i]);
+    ready_at[i] = nic_.SubmitPageOp(QueueFor(slots[i]), now, rng);
+  }
+}
+
+SimTimeNs HostAgent::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
+  const SlabMapping& mapping = MappingForSlot(slot);
+  // Replicated write: issue to every replica, complete when all complete.
+  SimTimeNs done = now;
+  for (size_t r = 0; r < std::max<size_t>(1, mapping.nodes.size()); ++r) {
+    done = std::max(done, nic_.SubmitPageOp(QueueFor(slot + r), now, rng));
+  }
+  return done;
+}
+
+void HostAgent::WriteTag(SwapSlot slot, uint64_t tag, SimTimeNs now,
+                         Rng& rng) {
+  const SlabMapping& mapping = MappingForSlot(slot);
+  for (uint32_t node_id : mapping.nodes) {
+    if (RemoteAgent* node = Node(node_id)) {
+      node->StorePage(slot, tag);
+    }
+  }
+  WritePage(slot, now, rng);
+}
+
+std::optional<uint64_t> HostAgent::ReadTag(SwapSlot slot) const {
+  const size_t slab = slot / config_.slab_pages;
+  if (slab >= slab_map_.size()) {
+    return std::nullopt;
+  }
+  for (uint32_t node_id : slab_map_[slab].nodes) {
+    RemoteAgent* node = Node(node_id);
+    if (node != nullptr && !node->failed()) {
+      return node->LoadPage(slot);
+    }
+  }
+  return std::nullopt;
+}
+
+double HostAgent::MeanReadLatencyNs() const {
+  return static_cast<double>(config_.nic.base_mean_ns +
+                             config_.nic.serialization_ns);
+}
+
+std::vector<size_t> HostAgent::NodeLoads() const {
+  std::vector<size_t> loads;
+  loads.reserve(nodes_.size());
+  for (const RemoteAgent* node : nodes_) {
+    loads.push_back(node->mapped_slabs());
+  }
+  return loads;
+}
+
+}  // namespace leap

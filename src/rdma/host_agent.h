@@ -1,0 +1,80 @@
+// Host-side agent: maps the local swap space onto remote memory slabs and
+// serves page reads/writes over the RDMA NIC.
+//
+// Follows the paper's section 4.4/4.5 design: the remote address space is
+// split into fixed-size slabs; slabs are placed across remote machines with
+// power-of-two-choices to balance load; writes are replicated to `replicas`
+// nodes for fault tolerance, reads go to the primary unless it failed.
+// Implements BackingStore so the paging data paths treat remote memory
+// exactly like a (much faster) swap device.
+#ifndef LEAP_SRC_RDMA_HOST_AGENT_H_
+#define LEAP_SRC_RDMA_HOST_AGENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/rdma/rdma_nic.h"
+#include "src/rdma/remote_agent.h"
+#include "src/sim/rng.h"
+#include "src/sim/types.h"
+#include "src/storage/backing_store.h"
+
+namespace leap {
+
+struct HostAgentConfig {
+  size_t slab_pages = 256 * 256 / 4;  // 64 MB slabs (4KB pages)
+  size_t replicas = 2;                // primary + 1 backup
+  RdmaNicConfig nic;
+};
+
+// Placement record for one slab.
+struct SlabMapping {
+  std::vector<uint32_t> nodes;  // nodes[0] = primary
+};
+
+class HostAgent : public BackingStore {
+ public:
+  // `remote_nodes` is the donor pool; the agent keeps references only.
+  HostAgent(const HostAgentConfig& config,
+            std::vector<RemoteAgent*> remote_nodes, uint64_t seed);
+
+  // BackingStore:
+  void ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
+                 std::span<SimTimeNs> ready_at) override;
+  SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) override;
+  std::string name() const override { return "remote-memory"; }
+  double MeanReadLatencyNs() const override;
+
+  // Content-tag plumbing for integration tests (read-your-writes through
+  // real slab/node routing).
+  void WriteTag(SwapSlot slot, uint64_t tag, SimTimeNs now, Rng& rng);
+  std::optional<uint64_t> ReadTag(SwapSlot slot) const;
+
+  // Slab of a slot, mapping it on demand (first touch maps the slab).
+  const SlabMapping& MappingForSlot(SwapSlot slot);
+  size_t mapped_slab_count() const { return slab_map_.size(); }
+  const RdmaNic& nic() const { return nic_; }
+
+  // Per-node mapped-slab counts, for balance assertions.
+  std::vector<size_t> NodeLoads() const;
+
+ private:
+  // Power-of-two-choices placement avoiding nodes in `exclude`.
+  uint32_t PickNode(const std::vector<uint32_t>& exclude);
+  void EnsureSlabMapped(SwapSlot slot);
+  // Queue selection: hash the slot so one process's sequential pages spread
+  // across queues, like per-core submission in the kernel.
+  size_t QueueFor(SwapSlot slot) const;
+  RemoteAgent* Node(uint32_t id) const;
+
+  HostAgentConfig config_;
+  std::vector<RemoteAgent*> nodes_;
+  RdmaNic nic_;
+  Rng placement_rng_;
+  std::vector<SlabMapping> slab_map_;  // indexed by slab id
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_RDMA_HOST_AGENT_H_

@@ -1,0 +1,30 @@
+#include "src/rdma/rdma_nic.h"
+
+#include <algorithm>
+
+namespace leap {
+
+RdmaNic::RdmaNic(const RdmaNicConfig& config)
+    : config_(config),
+      base_(LatencyModel::Normal(config.base_mean_ns, config.base_stddev_ns,
+                                 config.base_min_ns)),
+      queues_busy_until_(std::max<size_t>(1, config.num_queues), 0) {}
+
+SimTimeNs RdmaNic::SubmitPageOp(size_t queue, SimTimeNs now, Rng& rng) {
+  auto& q_busy = queues_busy_until_[queue % queues_busy_until_.size()];
+  // The op waits for its dispatch queue's issue slot, then for the wire.
+  // One-sided RDMA ops pipeline: a queue pair can have many outstanding
+  // reads, so the queue is released once the op is on the wire - only the
+  // serialization time gates the issue rate, while each op's completion
+  // still pays the full base latency.
+  const SimTimeNs q_start = std::max(now, q_busy);
+  const SimTimeNs wire_start = std::max(q_start, link_busy_until_);
+  link_busy_until_ = wire_start + config_.serialization_ns;
+  q_busy = wire_start + config_.serialization_ns;
+  const SimTimeNs done =
+      wire_start + config_.serialization_ns + base_.Sample(rng);
+  ++ops_issued_;
+  return done;
+}
+
+}  // namespace leap

@@ -1,0 +1,27 @@
+#include "src/rdma/remote_agent.h"
+
+namespace leap {
+
+bool RemoteAgent::MapSlab() {
+  if (mapped_slabs_ >= capacity_slabs_) {
+    return false;
+  }
+  ++mapped_slabs_;
+  return true;
+}
+
+void RemoteAgent::UnmapSlab() {
+  if (mapped_slabs_ > 0) {
+    --mapped_slabs_;
+  }
+}
+
+std::optional<uint64_t> RemoteAgent::LoadPage(uint64_t page_key) const {
+  auto it = pages_.find(page_key);
+  if (it == pages_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace leap

@@ -1,0 +1,52 @@
+// Remote-side agent: a machine donating memory slabs to the pool.
+//
+// Stores page "content tags" (one 64-bit token per page) instead of real
+// 4KB payloads so read-your-writes can be asserted in tests without moving
+// gigabytes through the simulator.
+#ifndef LEAP_SRC_RDMA_REMOTE_AGENT_H_
+#define LEAP_SRC_RDMA_REMOTE_AGENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+class RemoteAgent {
+ public:
+  RemoteAgent(uint32_t node_id, size_t capacity_slabs)
+      : node_id_(node_id), capacity_slabs_(capacity_slabs) {}
+
+  uint32_t node_id() const { return node_id_; }
+  size_t capacity_slabs() const { return capacity_slabs_; }
+  size_t mapped_slabs() const { return mapped_slabs_; }
+  size_t FreeSlabs() const { return capacity_slabs_ - mapped_slabs_; }
+
+  // Reserves one slab; returns false when the node is full.
+  bool MapSlab();
+  void UnmapSlab();
+
+  // Page payload tags, keyed by (slab-local) page offset.
+  void StorePage(uint64_t page_key, uint64_t content_tag) {
+    pages_[page_key] = content_tag;
+  }
+  std::optional<uint64_t> LoadPage(uint64_t page_key) const;
+
+  // Fault injection for resilience tests.
+  void Fail() { failed_ = true; }
+  void Recover() { failed_ = false; }
+  bool failed() const { return failed_; }
+
+ private:
+  uint32_t node_id_;
+  size_t capacity_slabs_;
+  size_t mapped_slabs_ = 0;
+  bool failed_ = false;
+  std::unordered_map<uint64_t, uint64_t> pages_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_RDMA_REMOTE_AGENT_H_

@@ -1,0 +1,106 @@
+#include "src/runtime/app_runner.h"
+
+#include <algorithm>
+
+namespace leap {
+namespace {
+
+struct AppState {
+  MultiAppSpec spec;
+  Rng rng;
+  SimTimeNs local_time = 0;
+  uint64_t accesses = 0;
+  uint64_t ops = 0;
+  bool done = false;
+  RunResult result;
+};
+
+void Step(Machine& machine, AppState& app) {
+  const MemOp op = app.spec.stream->Next(app.rng);
+  app.local_time += op.think_ns;
+  const AccessResult access =
+      machine.Access(app.spec.pid, op.vpn, op.write, app.local_time);
+  app.local_time += access.latency;
+  ++app.accesses;
+  if (op.op_end) {
+    ++app.ops;
+  }
+
+  app.result.access_latency.Record(access.latency);
+  if (access.type != AccessType::kLocalHit &&
+      access.type != AccessType::kMinorFault) {
+    app.result.remote_access_latency.Record(access.latency);
+    if (access.type == AccessType::kMiss) {
+      app.result.miss_latency.Record(access.latency);
+    }
+  }
+
+  const SimTimeNs elapsed = app.local_time - app.spec.config.start_time_ns;
+  const bool capped = app.spec.config.time_cap_ns != 0 &&
+                      elapsed > app.spec.config.time_cap_ns;
+  if (app.accesses >= app.spec.config.total_accesses || capped) {
+    app.done = true;
+    app.result.finished = !capped;
+    app.result.completion_ns = elapsed;
+    app.result.accesses = app.accesses;
+    app.result.app_ops = app.ops;
+    app.result.ops_per_sec =
+        elapsed == 0 ? 0.0 : static_cast<double>(app.ops) / ToSec(elapsed);
+  }
+}
+
+}  // namespace
+
+RunResult RunApp(Machine& machine, Pid pid, AccessStream& stream,
+                 const RunConfig& config) {
+  std::vector<MultiAppSpec> specs = {{pid, &stream, config}};
+  return RunAppsConcurrently(machine, std::move(specs))[0];
+}
+
+SimTimeNs WarmUp(Machine& machine, Pid pid, size_t pages, SimTimeNs start) {
+  SimTimeNs now = start;
+  for (Vpn v = 0; v < pages; ++v) {
+    now += 150;  // allocation/copy think time
+    now += machine.Access(pid, v, /*write=*/true, now).latency;
+  }
+  return now;
+}
+
+std::vector<RunResult> RunAppsConcurrently(Machine& machine,
+                                           std::vector<MultiAppSpec> specs) {
+  std::vector<AppState> apps;
+  apps.reserve(specs.size());
+  for (const MultiAppSpec& spec : specs) {
+    AppState state;
+    state.spec = spec;
+    state.rng = Rng(spec.config.seed);
+    state.local_time = spec.config.start_time_ns;
+    state.result.app_name = spec.stream->name();
+    apps.push_back(std::move(state));
+  }
+
+  // Global-time-ordered interleaving: always advance the app whose next
+  // access happens earliest. Shared state (NIC queues, devices, frame
+  // pool) then observes a single non-decreasing timeline.
+  for (;;) {
+    AppState* next = nullptr;
+    for (AppState& app : apps) {
+      if (!app.done && (next == nullptr || app.local_time < next->local_time)) {
+        next = &app;
+      }
+    }
+    if (next == nullptr) {
+      break;
+    }
+    Step(machine, *next);
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(apps.size());
+  for (AppState& app : apps) {
+    results.push_back(std::move(app.result));
+  }
+  return results;
+}
+
+}  // namespace leap

@@ -1,0 +1,71 @@
+// Executes workloads on a simulated machine and collects the metrics the
+// paper reports: completion time, throughput (TPS/OPS), and the latency
+// distribution of remote (non-resident) page accesses.
+#ifndef LEAP_SRC_RUNTIME_APP_RUNNER_H_
+#define LEAP_SRC_RUNTIME_APP_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/machine.h"
+#include "src/stats/histogram.h"
+#include "src/workload/access_stream.h"
+
+namespace leap {
+
+struct RunConfig {
+  // Total memory accesses to execute.
+  size_t total_accesses = 500'000;
+  // Abort the run when simulated time exceeds this (0 = no cap). Runs that
+  // hit the cap report finished = false - the paper's "never finishes".
+  SimTimeNs time_cap_ns = 0;
+  // Simulated time at which the app starts (use the time returned by
+  // WarmUp so measurement begins after population).
+  SimTimeNs start_time_ns = 0;
+  uint64_t seed = 7;
+};
+
+struct RunResult {
+  std::string app_name;
+  bool finished = true;
+  SimTimeNs completion_ns = 0;
+  uint64_t accesses = 0;
+  uint64_t app_ops = 0;
+  // Application-level operations per simulated second.
+  double ops_per_sec = 0.0;
+  // Latency of every access that went through the paging/VFS path (cache
+  // hits, wait-hits, and misses) - the paper's "4KB remote page access".
+  Histogram remote_access_latency;
+  // Misses only (the slow-path tail).
+  Histogram miss_latency;
+  // All accesses, including local hits.
+  Histogram access_latency;
+};
+
+// Runs one workload to completion on its own timeline starting at the
+// machine's current shared resources state.
+RunResult RunApp(Machine& machine, Pid pid, AccessStream& stream,
+                 const RunConfig& config);
+
+// Sequentially writes `pages` pages once, starting at `start`, and returns
+// the finish time. This mirrors the paper's microbenchmark setup: the
+// working set is populated in address order first, so swap slots line up
+// with virtual pages and the measured pattern (Sequential / Stride-N) is
+// seen by the backing store as-is.
+SimTimeNs WarmUp(Machine& machine, Pid pid, size_t pages,
+                 SimTimeNs start = 0);
+
+// Runs several workloads concurrently on one machine (Figure 13): accesses
+// interleave in global simulated-time order, contending for DRAM, the NIC,
+// and the device like co-located processes.
+struct MultiAppSpec {
+  Pid pid;
+  AccessStream* stream;
+  RunConfig config;
+};
+std::vector<RunResult> RunAppsConcurrently(Machine& machine,
+                                           std::vector<MultiAppSpec> specs);
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_RUNTIME_APP_RUNNER_H_

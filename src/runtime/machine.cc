@@ -1,0 +1,703 @@
+#include "src/runtime/machine.h"
+
+#include <algorithm>
+
+#include "src/prefetch/ghb.h"
+#include "src/prefetch/leap_adapter.h"
+#include "src/prefetch/next_n_line.h"
+#include "src/prefetch/readahead.h"
+#include "src/prefetch/stride.h"
+
+namespace leap {
+namespace {
+
+std::unique_ptr<Prefetcher> MakePrefetcher(const MachineConfig& config) {
+  switch (config.prefetcher) {
+    case PrefetchKind::kNone:
+      return std::make_unique<NoPrefetcher>();
+    case PrefetchKind::kNextNLine:
+      return std::make_unique<NextNLinePrefetcher>(
+          config.leap.max_prefetch_window);
+    case PrefetchKind::kStride:
+      return std::make_unique<StridePrefetcher>(
+          config.leap.max_prefetch_window);
+    case PrefetchKind::kReadAhead:
+      return std::make_unique<ReadAheadPrefetcher>(
+          2, config.leap.max_prefetch_window);
+    case PrefetchKind::kGhb:
+      return std::make_unique<GhbPrefetcher>();
+    case PrefetchKind::kLeap:
+      return std::make_unique<LeapAdapter>(config.leap);
+  }
+  return std::make_unique<NoPrefetcher>();
+}
+
+}  // namespace
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), rng_(config.seed), frames_(config.total_frames) {
+  if (config_.medium == Medium::kRemote) {
+    std::vector<RemoteAgent*> nodes;
+    for (size_t i = 0; i < std::max<size_t>(1, config_.remote_nodes); ++i) {
+      remote_nodes_.push_back(std::make_unique<RemoteAgent>(
+          static_cast<uint32_t>(i), config_.node_capacity_slabs));
+      nodes.push_back(remote_nodes_.back().get());
+    }
+    host_agent_ = std::make_unique<HostAgent>(config_.host_agent, nodes,
+                                              rng_.NextU64());
+    store_ = host_agent_.get();
+  } else if (config_.medium == Medium::kHdd) {
+    local_store_ = std::make_unique<Hdd>(config_.hdd);
+    store_ = local_store_.get();
+  } else {
+    local_store_ = std::make_unique<Ssd>(config_.ssd);
+    store_ = local_store_.get();
+  }
+
+  if (config_.path == PathKind::kDefault) {
+    data_path_ =
+        std::make_unique<DefaultDataPath>(config_.default_path, store_);
+  } else {
+    data_path_ = std::make_unique<LeapDataPath>(config_.leap_path, store_);
+  }
+  prefetcher_ = MakePrefetcher(config_);
+  ScheduleKswapd(config_.kswapd_period_ns);
+}
+
+Pid Machine::CreateProcess(size_t cgroup_limit_pages) {
+  const Pid pid = next_pid_++;
+  auto state = std::make_unique<ProcessState>();
+  state->cgroup.set_limit_pages(cgroup_limit_pages);
+  processes_[pid] = std::move(state);
+  return pid;
+}
+
+size_t Machine::resident_pages(Pid pid) const {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? 0 : it->second->table.resident_pages();
+}
+
+bool Machine::IsResident(Pid pid, Vpn vpn) const {
+  auto it = processes_.find(pid);
+  return it != processes_.end() && it->second->table.IsPresent(vpn);
+}
+
+void Machine::DrainEvents(SimTimeNs now) {
+  if (now > last_event_drain_) {
+    events_.RunUntil(now);
+    last_event_drain_ = now;
+  }
+}
+
+void Machine::ScheduleKswapd(SimTimeNs at) {
+  events_.ScheduleAt(at, [this](SimTimeNs when) { KswapdTick(when); });
+}
+
+void Machine::KswapdTick(SimTimeNs now) {
+  // Pass 1: retire consumed-but-lingering cache entries (lazy eviction's
+  // background cleanup). Eager mode never accumulates these.
+  size_t budget = config_.kswapd_scan_batch;
+  if (stale_count_ > 0) {
+    std::vector<SwapSlot> to_free;
+    cache_.ForEach([&](SwapSlot slot, const CacheEntry& entry) {
+      if (entry.first_hit_at != 0 && to_free.size() < budget) {
+        to_free.push_back(slot);
+      }
+    });
+    for (SwapSlot slot : to_free) {
+      const auto entry = cache_.Remove(slot);
+      if (entry.has_value()) {
+        counters_.Add(counter::kLruScans);
+        eviction_wait_hist_.Record(now > entry->first_hit_at
+                                       ? now - entry->first_hit_at
+                                       : 0);
+        --stale_count_;
+        counters_.Add(counter::kEvictions);
+      }
+    }
+    budget -= std::min(budget, to_free.size());
+  }
+
+  // Pass 2: inactive-list aging - unconsumed prefetched pages that have
+  // gone unreferenced for prefetch_ttl_ns have cycled to the inactive tail
+  // and are reclaimed as pollution.
+  if (config_.prefetch_ttl_ns != 0 && budget > 0) {
+    std::vector<SwapSlot> expired;
+    cache_.ForEach([&](SwapSlot slot, const CacheEntry& entry) {
+      if (entry.prefetched && entry.first_hit_at == 0 &&
+          now > entry.added_at + config_.prefetch_ttl_ns &&
+          expired.size() < budget) {
+        expired.push_back(slot);
+      }
+    });
+    for (SwapSlot slot : expired) {
+      const auto entry = cache_.Remove(slot);
+      if (entry.has_value()) {
+        prefetch_fifo_.OnConsumed(slot);
+        UnchargeCacheEntry(*entry);
+        if (entry->pfn != kInvalidPfn) {
+          frames_.Free(entry->pfn);
+        }
+        counters_.Add(counter::kEvictions);
+        counters_.Add(counter::kPrefetchUnused);
+      }
+    }
+    budget -= std::min(budget, expired.size());
+  }
+
+  // Pass 3: keep free frames above the low watermark by evicting cold
+  // unconsumed cache pages.
+  const size_t low = static_cast<size_t>(
+      config_.low_watermark * static_cast<double>(config_.total_frames));
+  const size_t high = static_cast<size_t>(
+      config_.high_watermark * static_cast<double>(config_.total_frames));
+  if (frames_.free_count() < low) {
+    while (frames_.free_count() < high && budget > 0 &&
+           ReclaimOneCacheVictim(now)) {
+      --budget;
+    }
+  }
+  ScheduleKswapd(now + config_.kswapd_period_ns);
+}
+
+bool Machine::ReclaimOneCacheVictim(SimTimeNs now) {
+  SwapSlot victim = kInvalidSlot;
+  if (config_.eviction == EvictionKind::kEagerLeap) {
+    // Unconsumed prefetched pages leave FIFO (no history to rank them).
+    const auto oldest = prefetch_fifo_.PopOldest();
+    if (oldest.has_value()) {
+      victim = *oldest;
+    }
+  }
+  if (victim == kInvalidSlot) {
+    // Lazy policy (or nothing in the FIFO): coldest cache entry overall.
+    // Skip consumed entries: they hold no frame.
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto coldest = cache_.ColdestSlot();
+      if (!coldest.has_value()) {
+        return false;
+      }
+      const CacheEntry* entry = cache_.Lookup(*coldest);
+      if (entry != nullptr && entry->first_hit_at == 0) {
+        victim = *coldest;
+        break;
+      }
+      // Consumed entry at the cold end: retire it (counts as lazy-eviction
+      // work) and continue searching.
+      const auto removed = cache_.Remove(*coldest);
+      if (removed.has_value() && removed->first_hit_at != 0) {
+        eviction_wait_hist_.Record(now > removed->first_hit_at
+                                       ? now - removed->first_hit_at
+                                       : 0);
+        --stale_count_;
+      }
+      counters_.Add(counter::kLruScans);
+    }
+    if (victim == kInvalidSlot) {
+      return false;
+    }
+  }
+  const auto entry = cache_.Remove(victim);
+  if (!entry.has_value()) {
+    return false;
+  }
+  prefetch_fifo_.OnConsumed(victim);  // drop any FIFO bookkeeping
+  UnchargeCacheEntry(*entry);
+  if (entry->pfn != kInvalidPfn) {
+    frames_.Free(entry->pfn);
+  }
+  counters_.Add(counter::kEvictions);
+  if (entry->prefetched && entry->first_hit_at == 0) {
+    counters_.Add(counter::kPrefetchUnused);
+  }
+  return true;
+}
+
+SimTimeNs Machine::AllocateFrame(SimTimeNs now, Pfn* pfn) {
+  // Allocation cost scales with the stale cache population the scan must
+  // wade through - the waste Leap's eager eviction removes.
+  const size_t scanned = std::min(stale_count_, config_.alloc_scan_cap);
+  SimTimeNs cost = config_.alloc_base_ns +
+                   static_cast<SimTimeNs>(scanned) *
+                       config_.alloc_scan_per_entry_ns;
+  auto allocated = frames_.Allocate();
+  if (!allocated.has_value()) {
+    // Direct reclaim: free a cache victim, else steal the coldest mapped
+    // page from the largest process.
+    if (!ReclaimOneCacheVictim(now)) {
+      Pid fattest = 0;
+      size_t fattest_resident = 0;
+      for (const auto& [pid, state] : processes_) {
+        if (state->table.resident_pages() > fattest_resident) {
+          fattest_resident = state->table.resident_pages();
+          fattest = pid;
+        }
+      }
+      if (fattest != 0) {
+        cost += EvictColdestOf(fattest, now);
+      }
+    } else {
+      cost += config_.evict_cpu_ns;
+    }
+    allocated = frames_.Allocate();
+    if (!allocated.has_value()) {
+      // Pathological: no reclaimable memory. Charge a stall and fail soft.
+      *pfn = kInvalidPfn;
+      alloc_hist_.Record(cost);
+      return cost;
+    }
+  }
+  *pfn = *allocated;
+  alloc_hist_.Record(cost);
+  return cost;
+}
+
+SimTimeNs Machine::EvictColdestOf(Pid pid, SimTimeNs now) {
+  ProcessState& proc = Proc(pid);
+  const auto victim = proc.lru.PopColdest();
+  if (!victim.has_value()) {
+    return 0;
+  }
+  const auto entry = proc.table.Unmap(*victim);
+  if (!entry.has_value()) {
+    return 0;
+  }
+  proc.cgroup.Uncharge();
+  const SwapSlot slot = swap_.SlotFor(pid, *victim);
+  // Drop any cache entry still keyed by this slot (delete_from_swap_cache
+  // semantics) so a later fault cannot hit stale state.
+  const auto cached = cache_.Remove(slot);
+  if (cached.has_value()) {
+    prefetch_fifo_.OnConsumed(slot);
+    UnchargeCacheEntry(*cached);
+    if (cached->pfn != kInvalidPfn) {
+      frames_.Free(cached->pfn);
+    }
+    if (cached->first_hit_at != 0) {
+      --stale_count_;
+      eviction_wait_hist_.Record(now > cached->first_hit_at
+                                     ? now - cached->first_hit_at
+                                     : 0);
+    }
+  }
+  // Swap-out: dirty (or never-backed) pages go to the backing store
+  // asynchronously; the device/NIC occupancy is modeled, the CPU moves on.
+  if (entry->dirty) {
+    data_path_->WritePage(slot, now, rng_);
+    counters_.Add(counter::kWritebacks);
+    if (config_.medium == Medium::kRemote) {
+      counters_.Add(counter::kRemoteWrites);
+    }
+  }
+  frames_.Free(entry->pfn);
+  counters_.Add(counter::kEvictions);
+  return config_.evict_cpu_ns;
+}
+
+void Machine::OnPageDirtied(Pid pid, Vpn vpn) {
+  // swap_free semantics: a re-dirtied page's backing copy is stale; drop
+  // any cache state keyed by the old slot and release it so the next
+  // eviction allocates a fresh one.
+  if (config_.vfs_mode) {
+    return;
+  }
+  const auto slot = swap_.FindSlot(pid, vpn);
+  if (!slot.has_value()) {
+    return;
+  }
+  const auto entry = cache_.Remove(*slot);
+  if (entry.has_value()) {
+    prefetch_fifo_.OnConsumed(*slot);
+    UnchargeCacheEntry(*entry);
+    if (entry->pfn != kInvalidPfn) {
+      frames_.Free(entry->pfn);
+    }
+    if (entry->first_hit_at != 0 && stale_count_ > 0) {
+      --stale_count_;
+    }
+  }
+  swap_.ReleaseSlot(pid, vpn);
+}
+
+SimTimeNs Machine::MapPage(Pid pid, Vpn vpn, Pfn pfn, bool write,
+                           SimTimeNs now) {
+  ProcessState& proc = Proc(pid);
+  proc.table.Map(vpn, pfn);
+  if (PageTableEntry* pte = proc.table.Find(vpn)) {
+    pte->dirty = write;
+  }
+  if (write) {
+    OnPageDirtied(pid, vpn);
+  }
+  proc.lru.Touch(vpn);
+  proc.cgroup.Charge();
+  SimTimeNs cost = 0;
+  while (proc.cgroup.OverLimit()) {
+    const SimTimeNs c = EvictColdestOf(pid, now);
+    if (c == 0) {
+      break;
+    }
+    cost += c;
+  }
+  return cost;
+}
+
+void Machine::EnforcePrefetchCacheLimit(size_t incoming, SimTimeNs now) {
+  if (config_.prefetch_cache_limit_pages == 0) {
+    return;
+  }
+  // Count unconsumed prefetched entries against the cap.
+  while (prefetch_fifo_.size() + incoming >
+         config_.prefetch_cache_limit_pages) {
+    if (!ReclaimOneCacheVictim(now)) {
+      break;
+    }
+  }
+}
+
+// Drops candidates that point at the demand page, past the end of the
+// backing store, or at already-cached slots.
+std::vector<SwapSlot> Machine::FilterPrefetchCandidates(
+    const std::vector<SwapSlot>& candidates, SwapSlot demand_slot) const {
+  // Readahead is bounded by the device: the swap area's high-water mark, or
+  // the file size (isize) in VFS mode.
+  const SwapSlot max_slot =
+      config_.vfs_mode ? vfs_file_pages_ : swap_.high_water();
+  std::vector<SwapSlot> batch;
+  batch.reserve(candidates.size());
+  for (SwapSlot slot : candidates) {
+    if (slot == demand_slot || slot >= max_slot) {
+      continue;
+    }
+    if (cache_.Lookup(slot) != nullptr) {
+      continue;
+    }
+    batch.push_back(slot);
+  }
+  return batch;
+}
+
+void Machine::InsertPrefetchEntries(Pid pid,
+                                    const std::vector<SwapSlot>& slots,
+                                    const std::vector<SimTimeNs>& ready_at,
+                                    SimTimeNs now) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    Pfn pfn = kInvalidPfn;
+    AllocateFrame(now, &pfn);  // overlapped with in-flight I/O
+    if (pfn == kInvalidPfn) {
+      continue;
+    }
+    CacheEntry entry;
+    entry.pfn = pfn;
+    entry.pid = pid;
+    entry.prefetched = true;
+    entry.ready_at = ready_at[i];
+    entry.added_at = now;
+    cache_.Insert(slots[i], entry);
+    if (config_.eviction == EvictionKind::kEagerLeap) {
+      prefetch_fifo_.OnPrefetched(slots[i]);
+    }
+    counters_.Add(counter::kPrefetchIssued);
+  }
+  // memcg semantics: readahead pages are charged to the faulting cgroup,
+  // so over-fetching displaces the process's own resident pages - the
+  // "cache pollution occupies valuable cache space" cost (section 2.3).
+  if (!config_.vfs_mode && processes_.count(pid) != 0) {
+    ProcessState& proc = Proc(pid);
+    proc.cgroup.Charge(slots.size());
+    while (proc.cgroup.OverLimit()) {
+      if (EvictColdestOf(pid, now) == 0) {
+        break;
+      }
+    }
+  }
+}
+
+// Removes the memcg charge held by an unconsumed, frame-holding cache
+// entry (called when the entry is consumed or reclaimed).
+void Machine::UnchargeCacheEntry(const CacheEntry& entry) {
+  if (config_.vfs_mode || entry.pfn == kInvalidPfn ||
+      entry.first_hit_at != 0) {
+    return;
+  }
+  auto it = processes_.find(entry.pid);
+  if (it != processes_.end()) {
+    it->second->cgroup.Uncharge();
+  }
+}
+
+SimTimeNs Machine::IssueMiss(Pid pid, SwapSlot demand_slot, SimTimeNs now,
+                             SimTimeNs* cpu_cost, Pfn* demand_pfn) {
+  const std::vector<SwapSlot> prefetches = FilterPrefetchCandidates(
+      prefetcher_->OnFault(pid, demand_slot), demand_slot);
+  EnforcePrefetchCacheLimit(prefetches.size(), now);
+
+  // Demand frame allocation is synchronous; prefetch frames are grabbed
+  // while the demand I/O is in flight (their cost overlaps).
+  *demand_pfn = kInvalidPfn;
+  *cpu_cost = AllocateFrame(now, demand_pfn);
+
+  // One submission: the demand page plus its readahead pages form a single
+  // plug batch on the default path (merged + elevator-ordered together)
+  // and a train of asynchronous per-page ops on the Leap path.
+  std::vector<SwapSlot> batch;
+  batch.reserve(prefetches.size() + 1);
+  batch.push_back(demand_slot);
+  batch.insert(batch.end(), prefetches.begin(), prefetches.end());
+  std::vector<SimTimeNs> ready(batch.size(), 0);
+  const SimTimeNs demand_ready =
+      data_path_->ReadPages(batch, now + *cpu_cost, rng_, ready);
+
+  counters_.Add(counter::kDemandReads);
+  counters_.Add(counter::kCacheAdds, batch.size());
+  if (config_.medium == Medium::kRemote) {
+    counters_.Add(counter::kRemoteReads, batch.size());
+  }
+  InsertPrefetchEntries(
+      pid, prefetches,
+      std::vector<SimTimeNs>(ready.begin() + 1, ready.end()), now);
+
+  // The demand page becomes a (consumed-on-arrival) cache entry: in lazy
+  // mode its carcass lingers for kswapd; in eager mode it is freed at map
+  // time, so no entry is created at all.
+  if (config_.eviction == EvictionKind::kLazyLru) {
+    CacheEntry entry;
+    entry.pfn = kInvalidPfn;  // frame goes straight to the process
+    entry.pid = pid;
+    entry.prefetched = false;
+    entry.ready_at = demand_ready;
+    entry.added_at = now;
+    entry.first_hit_at = demand_ready;
+    if (cache_.Insert(demand_slot, entry)) {
+      ++stale_count_;
+    }
+  }
+
+  return demand_ready;
+}
+
+void Machine::ConsumeCacheEntry(SwapSlot slot, Pid pid, Vpn vpn, bool write,
+                                SimTimeNs now) {
+  CacheEntry* entry = cache_.Lookup(slot);
+  if (entry == nullptr) {
+    return;
+  }
+  const bool first_hit = entry->first_hit_at == 0;
+  // The cache's memcg charge moves with the frame to the mapping process
+  // (MapPage re-charges below).
+  UnchargeCacheEntry(*entry);
+  if (first_hit) {
+    entry->first_hit_at = now;
+    if (entry->prefetched) {
+      counters_.Add(counter::kPrefetchHits);
+      timeliness_hist_.Record(now > entry->added_at ? now - entry->added_at
+                                                    : 0);
+      prefetcher_->OnPrefetchHit(pid, slot);
+    }
+  }
+  const Pfn pfn = entry->pfn;
+  if (config_.eviction == EvictionKind::kEagerLeap) {
+    // Eager: free the cache entry the moment the page table is updated.
+    prefetch_fifo_.OnConsumed(slot);
+    cache_.Remove(slot);
+    counters_.Add(counter::kEagerFrees);
+  } else {
+    // Lazy: the entry lingers (frame ownership moves to the process).
+    entry->pfn = kInvalidPfn;
+    if (first_hit) {
+      ++stale_count_;
+    }
+  }
+  if (pfn != kInvalidPfn) {
+    MapPage(pid, vpn, pfn, write, now);
+  }
+}
+
+AccessResult Machine::Access(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
+  DrainEvents(now);
+  if (config_.vfs_mode) {
+    return VfsAccess(pid, vpn, write, now);
+  }
+
+  ProcessState& proc = Proc(pid);
+  if (PageTableEntry* pte = proc.table.Find(vpn)) {
+    if (write && !pte->dirty) {
+      pte->dirty = true;
+      OnPageDirtied(pid, vpn);
+    }
+    proc.lru.Touch(vpn);
+    return {AccessType::kLocalHit, config_.local_access_ns};
+  }
+
+  counters_.Add(counter::kPageFaults);
+
+  // First touch: no backing copy exists yet anywhere.
+  const auto existing_slot = swap_.FindSlot(pid, vpn);
+  if (!existing_slot.has_value()) {
+    Pfn pfn = kInvalidPfn;
+    SimTimeNs cost = AllocateFrame(now, &pfn);
+    cost += config_.minor_fault_ns;
+    if (pfn != kInvalidPfn) {
+      cost += MapPage(pid, vpn, pfn, write, now);
+    }
+    return {AccessType::kMinorFault, cost};
+  }
+
+  const SwapSlot slot = *existing_slot;
+  if (CacheEntry* entry = cache_.Lookup(slot)) {
+    cache_.TouchLru(slot);
+    if (entry->first_hit_at == 0 || entry->pfn != kInvalidPfn) {
+      const SimTimeNs hit_cost = data_path_->CacheHitCost(rng_);
+      // The access tracker sees every do_swap_page, hits included.
+      prefetcher_->OnCacheAccess(pid, slot);
+      if (entry->ready_at > now) {
+        // In-flight prefetch: block for the residue.
+        const SimTimeNs wait = entry->ready_at - now;
+        counters_.Add(counter::kCacheHits);
+        counters_.Add(counter::kPrefetchWaitHits);
+        ConsumeCacheEntry(slot, pid, vpn, write, now + wait);
+        return {AccessType::kCacheWaitHit, wait + hit_cost};
+      }
+      counters_.Add(counter::kCacheHits);
+      ConsumeCacheEntry(slot, pid, vpn, write, now);
+      return {AccessType::kCacheHit, hit_cost};
+    }
+    // Consumed carcass without a frame: the data is gone (the process
+    // unmapped it and the carcass was not yet collected). Treat as a miss
+    // after dropping the stale entry.
+    cache_.Remove(slot);
+    --stale_count_;
+  }
+
+  counters_.Add(counter::kCacheMisses);
+  SimTimeNs cpu_cost = 0;
+  Pfn demand_pfn = kInvalidPfn;
+  const SimTimeNs demand_ready =
+      IssueMiss(pid, slot, now, &cpu_cost, &demand_pfn);
+  const SimTimeNs io_latency = demand_ready > now ? demand_ready - now : 0;
+  if (demand_pfn != kInvalidPfn) {
+    MapPage(pid, vpn, demand_pfn, write, now);
+  }
+  return {AccessType::kMiss, io_latency};
+}
+
+AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
+  // File pages: the offset itself is the backing-store slot.
+  const SwapSlot slot = vpn;
+  vfs_file_pages_ = std::max(vfs_file_pages_, slot + 1);
+  counters_.Add(counter::kPageFaults);
+
+  auto evict_if_over_limit = [&] {
+    const size_t limit = config_.vfs_cache_limit_pages;
+    while (limit != 0 && cache_.size() > limit) {
+      const auto coldest = cache_.ColdestSlot();
+      if (!coldest.has_value()) {
+        break;
+      }
+      const auto removed = cache_.Remove(*coldest);
+      if (removed.has_value()) {
+        prefetch_fifo_.OnConsumed(*coldest);
+        if (removed->pfn != kInvalidPfn) {
+          frames_.Free(removed->pfn);
+        }
+        if (removed->dirty) {
+          data_path_->WritePage(*coldest, now, rng_);
+          counters_.Add(counter::kWritebacks);
+        }
+        counters_.Add(counter::kEvictions);
+        if (removed->prefetched && removed->first_hit_at == 0) {
+          counters_.Add(counter::kPrefetchUnused);
+        }
+      }
+    }
+  };
+
+  if (CacheEntry* entry = cache_.Lookup(slot)) {
+    cache_.TouchLru(slot);
+    entry->dirty = entry->dirty || write;
+    const SimTimeNs hit_cost = data_path_->CacheHitCost(rng_);
+    const bool first_hit = entry->first_hit_at == 0;
+    if (first_hit) {
+      entry->first_hit_at = now;
+      if (entry->prefetched) {
+        counters_.Add(counter::kPrefetchHits);
+        timeliness_hist_.Record(now > entry->added_at ? now - entry->added_at
+                                                      : 0);
+        prefetcher_->OnPrefetchHit(pid, slot);
+        if (config_.eviction == EvictionKind::kEagerLeap) {
+          prefetch_fifo_.OnConsumed(slot);
+        }
+      }
+    }
+    prefetcher_->OnCacheAccess(pid, slot);
+    if (entry->ready_at > now) {
+      const SimTimeNs wait = entry->ready_at - now;
+      counters_.Add(counter::kCacheHits);
+      counters_.Add(counter::kPrefetchWaitHits);
+      return {AccessType::kCacheWaitHit, wait + hit_cost};
+    }
+    counters_.Add(counter::kCacheHits);
+    return {AccessType::kCacheHit, hit_cost};
+  }
+
+  if (write) {
+    // Write-allocate: full-page write needs no read.
+    Pfn pfn = kInvalidPfn;
+    const SimTimeNs cost = AllocateFrame(now, &pfn);
+    CacheEntry entry;
+    entry.pfn = pfn;
+    entry.pid = pid;
+    entry.ready_at = now;
+    entry.added_at = now;
+    entry.first_hit_at = now;
+    entry.dirty = true;
+    cache_.Insert(slot, entry);
+    counters_.Add(counter::kCacheAdds);
+    evict_if_over_limit();
+    return {AccessType::kMinorFault, cost + data_path_->CacheHitCost(rng_)};
+  }
+
+  counters_.Add(counter::kCacheMisses);
+  // Demand read + prefetches.
+  std::vector<SwapSlot> batch = {slot};
+  for (SwapSlot p :
+       FilterPrefetchCandidates(prefetcher_->OnFault(pid, slot), slot)) {
+    batch.push_back(p);
+  }
+  Pfn demand_pfn = kInvalidPfn;
+  const SimTimeNs cpu = AllocateFrame(now, &demand_pfn);
+  std::vector<SimTimeNs> ready(batch.size(), 0);
+  const SimTimeNs demand_ready =
+      data_path_->ReadPages(batch, now + cpu, rng_, ready);
+  counters_.Add(counter::kDemandReads);
+  counters_.Add(counter::kCacheAdds, batch.size());
+  if (config_.medium == Medium::kRemote) {
+    counters_.Add(counter::kRemoteReads, batch.size());
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Pfn pfn = demand_pfn;
+    if (i > 0) {
+      AllocateFrame(now, &pfn);
+    }
+    CacheEntry entry;
+    entry.pfn = pfn;
+    entry.pid = pid;
+    entry.prefetched = i > 0;
+    entry.ready_at = ready[i];
+    entry.added_at = now;
+    if (i == 0) {
+      entry.first_hit_at = now;
+    } else {
+      counters_.Add(counter::kPrefetchIssued);
+      if (config_.eviction == EvictionKind::kEagerLeap) {
+        prefetch_fifo_.OnPrefetched(batch[i]);
+      }
+    }
+    cache_.Insert(batch[i], entry);
+  }
+  evict_if_over_limit();
+  const SimTimeNs io_latency = demand_ready > now ? demand_ready - now : 0;
+  return {AccessType::kMiss, io_latency};
+}
+
+}  // namespace leap

@@ -1,0 +1,226 @@
+// The simulated host: local DRAM, page tables, swap cache, reclaim, a
+// paging (or VFS) data path to a backing medium, and a pluggable
+// prefetcher. This is the composition point where Leap's three components
+// (process-isolated tracking, majority prefetching, eager eviction) replace
+// their legacy counterparts.
+#ifndef LEAP_SRC_RUNTIME_MACHINE_H_
+#define LEAP_SRC_RUNTIME_MACHINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/leap.h"
+#include "src/mem/cgroup.h"
+#include "src/mem/frame_pool.h"
+#include "src/mem/lru_list.h"
+#include "src/mem/page_cache.h"
+#include "src/mem/page_table.h"
+#include "src/paging/data_path.h"
+#include "src/paging/swap_manager.h"
+#include "src/prefetch/prefetcher.h"
+#include "src/rdma/host_agent.h"
+#include "src/rdma/remote_agent.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/stats/counters.h"
+#include "src/stats/histogram.h"
+#include "src/storage/hdd.h"
+#include "src/storage/ssd.h"
+
+namespace leap {
+
+enum class Medium { kHdd, kSsd, kRemote };
+enum class PathKind { kDefault, kLeap };
+enum class PrefetchKind { kNone, kNextNLine, kStride, kReadAhead, kGhb, kLeap };
+enum class EvictionKind { kLazyLru, kEagerLeap };
+
+struct MachineConfig {
+  // Local DRAM, in 4KB frames.
+  size_t total_frames = 64 * 1024;
+  Medium medium = Medium::kRemote;
+  PathKind path = PathKind::kDefault;
+  PrefetchKind prefetcher = PrefetchKind::kReadAhead;
+  EvictionKind eviction = EvictionKind::kLazyLru;
+  LeapParams leap;
+
+  // File-style access (disaggregated VFS): no page tables; every access is
+  // a cache lookup; writes are write-allocate + writeback on eviction.
+  bool vfs_mode = false;
+  // Cache capacity in vfs_mode (0 = bounded only by DRAM).
+  size_t vfs_cache_limit_pages = 0;
+
+  // Cap on unconsumed prefetched pages in the cache (Figure 12); 0 = none.
+  size_t prefetch_cache_limit_pages = 0;
+
+  // CPU-side cost constants.
+  SimTimeNs local_access_ns = 90;
+  SimTimeNs minor_fault_ns = 900;
+  SimTimeNs evict_cpu_ns = 650;
+  // Page allocation cost: base plus a per-stale-cache-entry scan component,
+  // calibrated so lazy eviction averages ~2.1 us and eager ~1.35 us
+  // (paper: eager saves ~750 ns, 36%).
+  SimTimeNs alloc_base_ns = 400;
+  SimTimeNs alloc_scan_per_entry_ns = 22;
+  size_t alloc_scan_cap = 56;
+
+  // kswapd: period and per-wakeup scan batch.
+  SimTimeNs kswapd_period_ns = 1 * kNsPerMs;
+  size_t kswapd_scan_batch = 256;
+  double low_watermark = 0.02;   // fraction of total frames
+  double high_watermark = 0.05;
+  // Inactive-list aging: an unconsumed prefetched page that survives this
+  // long without a hit has cycled to the inactive tail and is reclaimed -
+  // this is how cache pollution dies in the kernel even without global
+  // memory pressure.
+  SimTimeNs prefetch_ttl_ns = 50 * kNsPerMs;
+
+  // Backing media.
+  HddConfig hdd;
+  SsdConfig ssd;
+  HostAgentConfig host_agent;
+  size_t remote_nodes = 2;
+  size_t node_capacity_slabs = 4096;
+
+  // Data-path cost presets (see runtime/presets.h for the calibrated ones).
+  DefaultPathConfig default_path;
+  LeapPathConfig leap_path;
+
+  uint64_t seed = 42;
+};
+
+enum class AccessType {
+  kLocalHit,      // page already mapped
+  kMinorFault,    // first touch, no backing store involved
+  kCacheHit,      // fault served from the page cache
+  kCacheWaitHit,  // fault hit an in-flight (prefetched) read
+  kMiss,          // fault went to the backing store
+};
+
+struct AccessResult {
+  AccessType type = AccessType::kLocalHit;
+  SimTimeNs latency = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  // Registers a process with a cgroup limit (0 = unlimited).
+  Pid CreateProcess(size_t cgroup_limit_pages);
+
+  // Performs one memory access at absolute simulated time `now` and
+  // returns its type and latency. Callers (the app runners) must invoke
+  // accesses in non-decreasing `now` order across the whole machine.
+  AccessResult Access(Pid pid, Vpn vpn, bool write, SimTimeNs now);
+
+  // --- Introspection -----------------------------------------------------
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  // Lazy-eviction wait: first hit -> freed (Figure 4).
+  Histogram& eviction_wait_hist() { return eviction_wait_hist_; }
+  // Prefetch timeliness: inserted -> first hit (Figure 10b).
+  Histogram& timeliness_hist() { return timeliness_hist_; }
+  // Page allocation cost distribution (eager-eviction effect).
+  Histogram& alloc_hist() { return alloc_hist_; }
+  const MachineConfig& config() const { return config_; }
+  Prefetcher& prefetcher() { return *prefetcher_; }
+  HostAgent* host_agent() { return host_agent_.get(); }
+  size_t cache_size() const { return cache_.size(); }
+  size_t stale_entries() const { return stale_count_; }
+  size_t free_frames() const { return frames_.free_count(); }
+  size_t resident_pages(Pid pid) const;
+  bool IsResident(Pid pid, Vpn vpn) const;
+  SwapManager& swap() { return swap_; }
+
+ private:
+  struct ProcessState {
+    PageTable table;
+    Cgroup cgroup;
+    LruList<Vpn> lru;  // resident pages, hottest first
+  };
+
+  void DrainEvents(SimTimeNs now);
+  void ScheduleKswapd(SimTimeNs at);
+  void KswapdTick(SimTimeNs now);
+
+  ProcessState& Proc(Pid pid) { return *processes_.at(pid); }
+
+  // Allocates a frame, reclaiming if necessary; returns the CPU cost and
+  // sets `*pfn`. Reclaim preference: unconsumed cache victims, then the
+  // coldest mapped page of the largest process.
+  SimTimeNs AllocateFrame(SimTimeNs now, Pfn* pfn);
+
+  // Evicts the coldest mapped page of `pid` (cgroup reclaim). Returns CPU
+  // cost; no-op (0) when the process has no resident pages.
+  SimTimeNs EvictColdestOf(Pid pid, SimTimeNs now);
+
+  // Evicts one unconsumed cache entry per the eviction policy. Returns
+  // true when an entry was freed.
+  bool ReclaimOneCacheVictim(SimTimeNs now);
+
+  // Removes the cache entry for `slot` and hands its frame to (pid, vpn).
+  // Handles eager-vs-lazy lifecycle, prefetch-hit accounting, and window
+  // feedback.
+  void ConsumeCacheEntry(SwapSlot slot, Pid pid, Vpn vpn, bool write,
+                         SimTimeNs now);
+
+  // Maps (pid, vpn) -> pfn, charging the cgroup and enforcing its limit.
+  // Returns the CPU cost of any synchronous cgroup reclaim triggered.
+  SimTimeNs MapPage(Pid pid, Vpn vpn, Pfn pfn, bool write, SimTimeNs now);
+
+  // Issues the demand + prefetch reads for a miss; returns demand-ready
+  // time, the CPU cost spent on the critical path, and the frame allocated
+  // for the demand page. Inserts in-flight cache entries for prefetched
+  // pages.
+  SimTimeNs IssueMiss(Pid pid, SwapSlot demand_slot, SimTimeNs now,
+                      SimTimeNs* cpu_cost, Pfn* demand_pfn);
+
+  std::vector<SwapSlot> FilterPrefetchCandidates(
+      const std::vector<SwapSlot>& candidates, SwapSlot demand_slot) const;
+  void InsertPrefetchEntries(Pid pid, const std::vector<SwapSlot>& slots,
+                             const std::vector<SimTimeNs>& ready_at,
+                             SimTimeNs now);
+  void UnchargeCacheEntry(const CacheEntry& entry);
+
+  // swap_free on re-dirty: releases the page's swap slot and drops cache
+  // state keyed by it.
+  void OnPageDirtied(Pid pid, Vpn vpn);
+
+  // Enforces the prefetch-cache cap before inserting `incoming` pages.
+  void EnforcePrefetchCacheLimit(size_t incoming, SimTimeNs now);
+
+  AccessResult VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now);
+
+  MachineConfig config_;
+  Rng rng_;
+  EventQueue events_;
+  SimTimeNs last_event_drain_ = 0;
+
+  FramePool frames_;
+  PageCache cache_;
+  SwapManager swap_;
+  PrefetchFifoLruList prefetch_fifo_;  // eager policy bookkeeping
+  size_t stale_count_ = 0;             // consumed entries awaiting kswapd
+
+  std::vector<std::unique_ptr<RemoteAgent>> remote_nodes_;
+  std::unique_ptr<HostAgent> host_agent_;
+  std::unique_ptr<BackingStore> local_store_;  // hdd/ssd when not remote
+  BackingStore* store_ = nullptr;
+  std::unique_ptr<DataPath> data_path_;
+  std::unique_ptr<Prefetcher> prefetcher_;
+
+  std::unordered_map<Pid, std::unique_ptr<ProcessState>> processes_;
+  Pid next_pid_ = 1;
+  // High-water mark of file pages seen in VFS mode (the simulated isize).
+  SwapSlot vfs_file_pages_ = 0;
+
+  Counters counters_;
+  Histogram eviction_wait_hist_;
+  Histogram timeliness_hist_;
+  Histogram alloc_hist_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_RUNTIME_MACHINE_H_

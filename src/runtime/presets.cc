@@ -1,0 +1,87 @@
+#include "src/runtime/presets.h"
+
+namespace leap {
+namespace {
+
+MachineConfig BaseConfig(size_t total_frames, uint64_t seed) {
+  MachineConfig config;
+  config.total_frames = total_frames;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+MachineConfig DiskSwapConfig(Medium medium, PrefetchKind prefetcher,
+                             size_t total_frames, uint64_t seed) {
+  MachineConfig config = BaseConfig(total_frames, seed);
+  config.medium = medium;
+  config.path = PathKind::kDefault;
+  config.prefetcher = prefetcher;
+  config.eviction = EvictionKind::kLazyLru;
+  // Plain swap has no disaggregation-framework overhead on hits.
+  config.default_path.hit_cost_ns = 270;
+  config.default_path.hit_jitter_ns = 60;
+  return config;
+}
+
+MachineConfig DefaultVmmConfig(PrefetchKind prefetcher, size_t total_frames,
+                               uint64_t seed) {
+  MachineConfig config = BaseConfig(total_frames, seed);
+  config.medium = Medium::kRemote;
+  config.path = PathKind::kDefault;
+  config.prefetcher = prefetcher;
+  config.eviction = EvictionKind::kLazyLru;
+  // Constant implementation overhead keeps even hits near 1 us (Figure 2).
+  config.default_path.hit_cost_ns = 1050;
+  config.default_path.hit_jitter_ns = 160;
+  return config;
+}
+
+MachineConfig LeapVmmConfig(size_t total_frames, uint64_t seed) {
+  MachineConfig config = BaseConfig(total_frames, seed);
+  config.medium = Medium::kRemote;
+  config.path = PathKind::kLeap;
+  config.prefetcher = PrefetchKind::kLeap;
+  config.eviction = EvictionKind::kEagerLeap;
+  return config;
+}
+
+MachineConfig DefaultVfsConfig(PrefetchKind prefetcher, size_t total_frames,
+                               size_t vfs_cache_pages, uint64_t seed) {
+  MachineConfig config = BaseConfig(total_frames, seed);
+  config.medium = Medium::kRemote;
+  config.path = PathKind::kDefault;
+  config.prefetcher = prefetcher;
+  config.eviction = EvictionKind::kLazyLru;
+  config.vfs_mode = true;
+  config.vfs_cache_limit_pages = vfs_cache_pages;
+  // Remote Regions avoids the block layer but pays VFS-level costs; the
+  // observed stack is markedly lighter than the VMM one (Figure 2).
+  config.default_path.hit_cost_ns = 540;
+  config.default_path.hit_jitter_ns = 110;
+  config.default_path.block.prep_median_ns = 1300;
+  config.default_path.block.prep_sigma = 0.55;
+  config.default_path.block.prep_min_ns = 500;
+  config.default_path.block.queue_median_ns = 1100;
+  config.default_path.block.queue_sigma = 0.60;
+  config.default_path.block.queue_min_ns = 400;
+  config.default_path.block.dispatch_mean_ns = 700;
+  config.default_path.block.dispatch_stddev_ns = 150;
+  config.default_path.block.dispatch_min_ns = 300;
+  return config;
+}
+
+MachineConfig LeapVfsConfig(size_t total_frames, size_t vfs_cache_pages,
+                            uint64_t seed) {
+  MachineConfig config = BaseConfig(total_frames, seed);
+  config.medium = Medium::kRemote;
+  config.path = PathKind::kLeap;
+  config.prefetcher = PrefetchKind::kLeap;
+  config.eviction = EvictionKind::kEagerLeap;
+  config.vfs_mode = true;
+  config.vfs_cache_limit_pages = vfs_cache_pages;
+  return config;
+}
+
+}  // namespace leap

@@ -1,0 +1,42 @@
+// Calibrated machine configurations for the systems the paper evaluates:
+//   - Disk swap (default Linux path to HDD/SSD)
+//   - Disaggregated VMM, default path (Infiniswap-like)
+//   - Disaggregated VMM + Leap
+//   - Disaggregated VFS, default path (Remote-Regions-like)
+//   - Disaggregated VFS + Leap
+//
+// Calibration targets (paper Figure 1 / section 2.2 / Figure 2):
+//   default D-VMM miss  ~38.3 us mean, ~1 us hit floor
+//   disk miss           ~125.5 us mean
+//   Leap miss           ~6.4 us mean, 0.27 us hit
+//   D-VFS default       lighter software stack, 0.54 us hit floor
+#ifndef LEAP_SRC_RUNTIME_PRESETS_H_
+#define LEAP_SRC_RUNTIME_PRESETS_H_
+
+#include "src/runtime/machine.h"
+
+namespace leap {
+
+// Legacy data path to a spinning/solid-state swap device.
+MachineConfig DiskSwapConfig(Medium medium, PrefetchKind prefetcher,
+                             size_t total_frames, uint64_t seed);
+
+// Infiniswap-style disaggregated VMM over the default kernel path.
+MachineConfig DefaultVmmConfig(PrefetchKind prefetcher, size_t total_frames,
+                               uint64_t seed);
+
+// Disaggregated VMM with the full Leap stack (lean path + majority
+// prefetcher + eager eviction).
+MachineConfig LeapVmmConfig(size_t total_frames, uint64_t seed);
+
+// Remote-Regions-style disaggregated VFS over the default path.
+MachineConfig DefaultVfsConfig(PrefetchKind prefetcher, size_t total_frames,
+                               size_t vfs_cache_pages, uint64_t seed);
+
+// Disaggregated VFS with Leap.
+MachineConfig LeapVfsConfig(size_t total_frames, size_t vfs_cache_pages,
+                            uint64_t seed);
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_RUNTIME_PRESETS_H_

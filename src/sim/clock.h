@@ -1,0 +1,31 @@
+// Virtual nanosecond clock driving the discrete-event simulation.
+#ifndef LEAP_SRC_SIM_CLOCK_H_
+#define LEAP_SRC_SIM_CLOCK_H_
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+class Clock {
+ public:
+  SimTimeNs Now() const { return now_; }
+
+  void Advance(SimTimeNs delta) { now_ += delta; }
+
+  // Move forward to `t`; moving backwards is a programming error and is
+  // ignored so replays stay monotonic.
+  void AdvanceTo(SimTimeNs t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTimeNs now_ = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_SIM_CLOCK_H_

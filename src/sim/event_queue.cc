@@ -1,0 +1,34 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace leap {
+
+void EventQueue::ScheduleAt(SimTimeNs when, Callback cb) {
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+size_t EventQueue::RunUntil(SimTimeNs until) {
+  size_t ran = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    // Copy out before pop: the callback may schedule further events.
+    Event ev = heap_.top();
+    heap_.pop();
+    ev.cb(ev.when);
+    ++ran;
+  }
+  return ran;
+}
+
+SimTimeNs EventQueue::NextEventTime() const {
+  return heap_.empty() ? kNoEvent : heap_.top().when;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) {
+    heap_.pop();
+  }
+  next_seq_ = 0;
+}
+
+}  // namespace leap

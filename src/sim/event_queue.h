@@ -1,0 +1,60 @@
+// Minimal discrete-event scheduler.
+//
+// Components schedule callbacks at absolute simulated times; the machine
+// drains events due before each page access so background activity (kswapd
+// scans, I/O completions) interleaves deterministically with foreground
+// faults.
+#ifndef LEAP_SRC_SIM_EVENT_QUEUE_H_
+#define LEAP_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTimeNs now)>;
+
+  // Schedules `cb` to run at absolute time `when`. Events at equal times run
+  // in scheduling order (FIFO).
+  void ScheduleAt(SimTimeNs when, Callback cb);
+
+  // Runs every event with time <= `until`. Returns the number of events run.
+  size_t RunUntil(SimTimeNs until);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Time of the earliest pending event; kNoEvent if none.
+  static constexpr SimTimeNs kNoEvent = static_cast<SimTimeNs>(-1);
+  SimTimeNs NextEventTime() const;
+
+  void Clear();
+
+ private:
+  struct Event {
+    SimTimeNs when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_SIM_EVENT_QUEUE_H_

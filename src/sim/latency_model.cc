@@ -1,0 +1,64 @@
+#include "src/sim/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leap {
+
+LatencyModel LatencyModel::Constant(SimTimeNs value) {
+  return LatencyModel(Kind::kConstant, static_cast<double>(value), 0.0, value);
+}
+
+LatencyModel LatencyModel::Uniform(SimTimeNs lo, SimTimeNs hi) {
+  return LatencyModel(Kind::kUniform, static_cast<double>(lo),
+                      static_cast<double>(hi), lo);
+}
+
+LatencyModel LatencyModel::Normal(SimTimeNs mean, SimTimeNs stddev,
+                                  SimTimeNs min) {
+  return LatencyModel(Kind::kNormal, static_cast<double>(mean),
+                      static_cast<double>(stddev), min);
+}
+
+LatencyModel LatencyModel::LogNormal(SimTimeNs median, double sigma,
+                                     SimTimeNs min) {
+  return LatencyModel(Kind::kLogNormal, std::log(static_cast<double>(median)),
+                      sigma, min);
+}
+
+SimTimeNs LatencyModel::Sample(Rng& rng) const {
+  double v = 0.0;
+  switch (kind_) {
+    case Kind::kConstant:
+      v = a_;
+      break;
+    case Kind::kUniform:
+      v = a_ + rng.NextDouble() * (b_ - a_);
+      break;
+    case Kind::kNormal:
+      v = a_ + rng.NextGaussian() * b_;
+      break;
+    case Kind::kLogNormal:
+      v = std::exp(a_ + rng.NextGaussian() * b_);
+      break;
+  }
+  const double floored = std::max(v, static_cast<double>(min_));
+  return static_cast<SimTimeNs>(std::llround(floored));
+}
+
+double LatencyModel::MeanNs() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return a_;
+    case Kind::kUniform:
+      return (a_ + b_) / 2.0;
+    case Kind::kNormal:
+      // Truncation shifts the mean slightly; ignore for reporting purposes.
+      return a_;
+    case Kind::kLogNormal:
+      return std::exp(a_ + b_ * b_ / 2.0);
+  }
+  return 0.0;
+}
+
+}  // namespace leap

@@ -1,0 +1,47 @@
+// Parametric latency distributions for data-path stages and devices.
+//
+// The paper's section 2.2 observation that "significant variations in the
+// preparation and batching stages ... cause the average to stray far from
+// the median" is modeled with log-normal stages; devices use truncated
+// normals around their published averages.
+#ifndef LEAP_SRC_SIM_LATENCY_MODEL_H_
+#define LEAP_SRC_SIM_LATENCY_MODEL_H_
+
+#include "src/sim/rng.h"
+#include "src/sim/types.h"
+
+namespace leap {
+
+class LatencyModel {
+ public:
+  LatencyModel() : LatencyModel(Constant(0)) {}
+
+  static LatencyModel Constant(SimTimeNs value);
+  static LatencyModel Uniform(SimTimeNs lo, SimTimeNs hi);
+  // Normal truncated below at `min`.
+  static LatencyModel Normal(SimTimeNs mean, SimTimeNs stddev, SimTimeNs min);
+  // Log-normal specified by its median and the sigma of the underlying
+  // normal; heavier sigma -> heavier tail (mean pulled above median).
+  static LatencyModel LogNormal(SimTimeNs median, double sigma, SimTimeNs min);
+
+  SimTimeNs Sample(Rng& rng) const;
+
+  // Analytic expectation of the distribution (used by tests and to report
+  // calibration targets).
+  double MeanNs() const;
+
+ private:
+  enum class Kind { kConstant, kUniform, kNormal, kLogNormal };
+
+  LatencyModel(Kind kind, double a, double b, SimTimeNs min)
+      : kind_(kind), a_(a), b_(b), min_(min) {}
+
+  Kind kind_;
+  double a_;       // constant value / lo / mean / log-median
+  double b_;       // unused / hi / stddev / sigma
+  SimTimeNs min_;  // truncation floor
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_SIM_LATENCY_MODEL_H_

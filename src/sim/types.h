@@ -1,0 +1,49 @@
+// Fundamental scalar types shared by every simulator module.
+#ifndef LEAP_SRC_SIM_TYPES_H_
+#define LEAP_SRC_SIM_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace leap {
+
+// Simulated time, in nanoseconds since simulation start.
+using SimTimeNs = uint64_t;
+
+constexpr SimTimeNs kNsPerUs = 1'000;
+constexpr SimTimeNs kNsPerMs = 1'000'000;
+constexpr SimTimeNs kNsPerSec = 1'000'000'000;
+
+constexpr double ToUs(SimTimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+constexpr double ToMs(SimTimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+constexpr double ToSec(SimTimeNs t) { return static_cast<double>(t) / kNsPerSec; }
+
+// Page geometry. Everything in the data path moves 4 KB pages, like the
+// paper's kernel integration.
+constexpr size_t kPageSize = 4096;
+constexpr size_t kPageShift = 12;
+
+// Virtual page number within a process address space.
+using Vpn = uint64_t;
+// Physical frame number in the (simulated) local DRAM.
+using Pfn = uint32_t;
+// Page-granularity offset into a backing store (swap device / remote slab /
+// remote file). Mirrors a Linux swap slot.
+using SwapSlot = uint64_t;
+// Process identifier.
+using Pid = uint32_t;
+
+constexpr Pfn kInvalidPfn = static_cast<Pfn>(-1);
+constexpr SwapSlot kInvalidSlot = static_cast<SwapSlot>(-1);
+
+// Signed page-address delta between two consecutive remote page accesses.
+// This is the unit stored in Leap's AccessHistory (paper section 4.1).
+using PageDelta = int64_t;
+
+inline size_t PagesForBytes(size_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_SIM_TYPES_H_

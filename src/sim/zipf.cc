@@ -1,0 +1,57 @@
+#include "src/sim/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leap {
+
+double ZipfSampler::Zeta(uint64_t n, double theta) {
+  // Exact up to a cutoff, then the Euler-Maclaurin integral approximation;
+  // keeps construction O(1)-ish even for page-count-sized n.
+  constexpr uint64_t kExactTerms = 10'000;
+  double sum = 0.0;
+  const uint64_t exact = std::min(n, kExactTerms);
+  for (uint64_t i = 1; i <= exact; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > exact) {
+    const double a = static_cast<double>(exact);
+    const double b = static_cast<double>(n);
+    if (theta == 1.0) {
+      sum += std::log(b / a);
+    } else {
+      sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+             (1.0 - theta);
+    }
+  }
+  return sum;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (theta_ == 0.0) {
+    return rng.NextU64(n_);
+  }
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double frac =
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  const uint64_t rank = static_cast<uint64_t>(frac);
+  return std::min(rank, n_ - 1);
+}
+
+}  // namespace leap

@@ -1,0 +1,39 @@
+// Zipf-distributed integer sampler over [0, n) with exponent `theta`.
+//
+// Used by the Memcached- and VoltDB-like workload generators: production
+// key-value traffic (Facebook ETC) is heavily skewed, which at page
+// granularity yields the "mostly random" fault pattern the paper reports.
+#ifndef LEAP_SRC_SIM_ZIPF_H_
+#define LEAP_SRC_SIM_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/sim/rng.h"
+
+namespace leap {
+
+class ZipfSampler {
+ public:
+  // theta in (0, 1) skews mildly; theta > 1 skews heavily. theta == 0 is
+  // uniform. Uses the Gray/Jim Gray et al. transform (constant time per
+  // sample after O(1) setup), the standard approach in YCSB.
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_SIM_ZIPF_H_

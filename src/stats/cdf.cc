@@ -1,0 +1,70 @@
+#include "src/stats/cdf.h"
+
+#include <cstdio>
+
+#include "src/sim/types.h"
+#include "src/stats/table.h"
+
+namespace leap {
+namespace {
+
+std::string FormatUs(double us) {
+  char buf[32];
+  if (us >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", us);
+  } else if (us >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", us);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderLatencyQuantileTable(const std::vector<QuantileRow>& rows) {
+  TextTable table;
+  std::vector<std::string> header = {"series", "count", "mean(us)"};
+  for (double q : kStandardQuantiles) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "p%g", q * 100.0);
+    header.push_back(buf);
+  }
+  header.push_back("max(us)");
+  table.SetHeader(header);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.label,
+                                      std::to_string(row.hist->count()),
+                                      FormatUs(row.hist->Mean() / kNsPerUs)};
+    for (double q : kStandardQuantiles) {
+      cells.push_back(FormatUs(ToUs(row.hist->Percentile(q))));
+    }
+    cells.push_back(FormatUs(ToUs(row.hist->Max())));
+    table.AddRow(cells);
+  }
+  return table.Render();
+}
+
+std::string RenderCcdfTable(const std::vector<QuantileRow>& rows,
+                            const std::vector<double>& thresholds_us) {
+  TextTable table;
+  std::vector<std::string> header = {"series"};
+  for (double t : thresholds_us) {
+    header.push_back(">" + FormatUs(t) + "us(%)");
+  }
+  table.SetHeader(header);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.label};
+    for (double t : thresholds_us) {
+      const double frac = 1.0 - row.hist->FractionAtOrBelow(
+                                    static_cast<uint64_t>(t * kNsPerUs));
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", frac * 100.0);
+      cells.push_back(buf);
+    }
+    table.AddRow(cells);
+  }
+  return table.Render();
+}
+
+}  // namespace leap

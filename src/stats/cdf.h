@@ -1,0 +1,33 @@
+// Quantile summaries and CDF/CCDF table rendering for bench output.
+#ifndef LEAP_SRC_STATS_CDF_H_
+#define LEAP_SRC_STATS_CDF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/stats/histogram.h"
+
+namespace leap {
+
+// The quantiles every latency table in the harness reports.
+inline constexpr double kStandardQuantiles[] = {0.01, 0.10, 0.25, 0.50, 0.75,
+                                                0.90, 0.95, 0.99, 0.999};
+
+struct QuantileRow {
+  std::string label;
+  const Histogram* hist;
+};
+
+// Renders one row per series: label, count, mean, then kStandardQuantiles,
+// all in microseconds. Suitable for direct comparison with the paper's CDF
+// figures.
+std::string RenderLatencyQuantileTable(const std::vector<QuantileRow>& rows);
+
+// Renders a CCDF (percent of samples above x) at the given microsecond
+// thresholds — the presentation used by the paper's Figure 8a.
+std::string RenderCcdfTable(const std::vector<QuantileRow>& rows,
+                            const std::vector<double>& thresholds_us);
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_STATS_CDF_H_

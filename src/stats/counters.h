@@ -1,0 +1,60 @@
+// Named monotonic counters for data-path and prefetcher accounting.
+//
+// The counter names mirror the quantities the paper's evaluation reports:
+// cache adds, cache hits/misses, prefetched-page hits (coverage), etc.
+#ifndef LEAP_SRC_STATS_COUNTERS_H_
+#define LEAP_SRC_STATS_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace leap {
+
+class Counters {
+ public:
+  void Add(const std::string& name, uint64_t delta = 1) {
+    values_[name] += delta;
+  }
+
+  uint64_t Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  // Ratio helper; returns 0 when the denominator counter is 0.
+  double Ratio(const std::string& num, const std::string& den) const {
+    const uint64_t d = Get(den);
+    return d == 0 ? 0.0 : static_cast<double>(Get(num)) / static_cast<double>(d);
+  }
+
+  const std::map<std::string, uint64_t>& values() const { return values_; }
+
+  void Reset() { values_.clear(); }
+
+ private:
+  std::map<std::string, uint64_t> values_;
+};
+
+// Canonical counter names used across the paging pipeline.
+namespace counter {
+inline constexpr char kPageFaults[] = "page_faults";
+inline constexpr char kCacheHits[] = "cache_hits";
+inline constexpr char kCacheMisses[] = "cache_misses";
+inline constexpr char kPrefetchHits[] = "prefetch_hits";
+inline constexpr char kPrefetchWaitHits[] = "prefetch_wait_hits";
+inline constexpr char kCacheAdds[] = "cache_adds";
+inline constexpr char kPrefetchIssued[] = "prefetch_issued";
+inline constexpr char kPrefetchUnused[] = "prefetch_unused_evicted";
+inline constexpr char kDemandReads[] = "demand_reads";
+inline constexpr char kWritebacks[] = "writebacks";
+inline constexpr char kEvictions[] = "evictions";
+inline constexpr char kEagerFrees[] = "eager_frees";
+inline constexpr char kLruScans[] = "lru_pages_scanned";
+inline constexpr char kRemoteReads[] = "remote_reads";
+inline constexpr char kRemoteWrites[] = "remote_writes";
+}  // namespace counter
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_STATS_COUNTERS_H_

@@ -1,0 +1,110 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace leap {
+
+Histogram::Histogram(int sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_bucket_count_(1ULL << sub_bucket_bits) {
+  // 64 powers of two, each with sub_bucket_count_ linear sub-buckets.
+  buckets_.assign(64 * sub_bucket_count_, 0);
+}
+
+size_t Histogram::BucketIndex(uint64_t value) const {
+  if (value < sub_bucket_count_) {
+    return static_cast<size_t>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - sub_bucket_bits_;
+  const uint64_t sub = (value >> shift) - sub_bucket_count_;
+  // Power-of-two group `msb` starts after the groups below it; groups below
+  // sub_bucket_bits_ collapse into the identity range handled above.
+  const size_t group =
+      static_cast<size_t>(msb - sub_bucket_bits_ + 1) * sub_bucket_count_;
+  return group + static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketMidpoint(size_t index) const {
+  if (index < sub_bucket_count_) {
+    return index;
+  }
+  const size_t group = index / sub_bucket_count_;
+  const uint64_t sub = index % sub_bucket_count_ + sub_bucket_count_;
+  const int shift = static_cast<int>(group) - 1;
+  const uint64_t lo = sub << shift;
+  const uint64_t width = 1ULL << shift;
+  return lo + width / 2;
+}
+
+void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  const size_t idx = std::min(BucketIndex(value), buckets_.size() - 1);
+  buckets_[idx] += count;
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::clamp(BucketMidpoint(i), Min(), Max());
+    }
+  }
+  return max_;
+}
+
+double Histogram::FractionAtOrBelow(uint64_t value) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const size_t cutoff = BucketIndex(value);
+  uint64_t seen = 0;
+  for (size_t i = 0; i <= cutoff && i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+  }
+  return static_cast<double>(seen) / static_cast<double>(count_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  // Merging requires identical geometry.
+  if (other.buckets_.size() != buckets_.size()) {
+    return;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+}  // namespace leap

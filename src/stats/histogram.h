@@ -1,0 +1,55 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// Records values in [1 ns, ~18 s] with bounded relative error, answers
+// percentile queries, and accumulates count/sum for means. Used for every
+// latency series reported by the benchmark harness.
+#ifndef LEAP_SRC_STATS_HISTOGRAM_H_
+#define LEAP_SRC_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace leap {
+
+class Histogram {
+ public:
+  // `sub_bucket_bits` sub-buckets per power of two; 6 bits keeps relative
+  // error under ~1.6%.
+  explicit Histogram(int sub_bucket_bits = 6);
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t count);
+
+  uint64_t count() const { return count_; }
+  double Sum() const { return sum_; }
+  double Mean() const;
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t Max() const { return max_; }
+
+  // Value at quantile q in [0, 1]. Returns the representative (midpoint)
+  // value of the bucket containing the q-th sample.
+  uint64_t Percentile(double q) const;
+
+  // Fraction of recorded values that are <= value.
+  double FractionAtOrBelow(uint64_t value) const;
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+ private:
+  size_t BucketIndex(uint64_t value) const;
+  uint64_t BucketMidpoint(size_t index) const;
+
+  int sub_bucket_bits_;
+  uint64_t sub_bucket_count_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_STATS_HISTOGRAM_H_

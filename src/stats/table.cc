@@ -1,0 +1,81 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+namespace leap {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'x' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) {
+    cols = std::max(cols, r.size());
+  }
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) {
+    measure(r);
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& r, bool align_numeric) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < r.size() ? r[i] : "";
+      const size_t pad = width[i] - cell.size();
+      const bool right = align_numeric && LooksNumeric(cell);
+      if (i != 0) {
+        out << "  ";
+      }
+      if (right) {
+        out << std::string(pad, ' ') << cell;
+      } else {
+        out << cell << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_, false);
+    size_t total = 0;
+    for (size_t i = 0; i < cols; ++i) {
+      total += width[i] + (i != 0 ? 2 : 0);
+    }
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    emit(r, true);
+  }
+  return out.str();
+}
+
+}  // namespace leap

@@ -1,0 +1,24 @@
+// Fixed-width text table renderer used by every figure/table bench binary.
+#ifndef LEAP_SRC_STATS_TABLE_H_
+#define LEAP_SRC_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace leap {
+
+class TextTable {
+ public:
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  // Right-aligns numeric-looking cells, left-aligns text, pads columns.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_STATS_TABLE_H_

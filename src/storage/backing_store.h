@@ -1,0 +1,38 @@
+// Backing-store interface: where cold pages live (disk or remote memory).
+//
+// Reads are submitted in already-merged batches (the block layer sorts and
+// merges before dispatch; Leap's lean path submits per-page). Each store
+// reports a completion time per page so the caller can distinguish the
+// demand page's readiness from trailing prefetch pages.
+#ifndef LEAP_SRC_STORAGE_BACKING_STORE_H_
+#define LEAP_SRC_STORAGE_BACKING_STORE_H_
+
+#include <span>
+#include <string>
+
+#include "src/sim/rng.h"
+#include "src/sim/types.h"
+
+namespace leap {
+
+class BackingStore {
+ public:
+  virtual ~BackingStore() = default;
+
+  // Issues reads for `slots` starting at `now`; writes each page's
+  // completion time into `ready_at` (same indexing as `slots`).
+  virtual void ReadPages(std::span<const SwapSlot> slots, SimTimeNs now,
+                         Rng& rng, std::span<SimTimeNs> ready_at) = 0;
+
+  // Issues one page write; returns its completion time.
+  virtual SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+
+  // Mean device latency of a single random 4KB read, for reporting.
+  virtual double MeanReadLatencyNs() const = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_STORAGE_BACKING_STORE_H_

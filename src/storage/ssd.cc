@@ -1,0 +1,34 @@
+#include "src/storage/ssd.h"
+
+#include <algorithm>
+
+namespace leap {
+
+Ssd::Ssd(const SsdConfig& config)
+    : config_(config),
+      read_(LatencyModel::Normal(config.read_mean_ns, config.read_stddev_ns,
+                                 config.read_min_ns)),
+      write_(LatencyModel::Normal(config.write_mean_ns, config.write_stddev_ns,
+                                  config.write_min_ns)),
+      busy_until_(std::max<size_t>(1, config.channels), 0) {}
+
+void Ssd::ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
+                    std::span<SimTimeNs> ready_at) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    auto& busy = busy_until_[ChannelFor(slots[i])];
+    const SimTimeNs start = std::max(now, busy);
+    const SimTimeNs done = start + read_.Sample(rng);
+    busy = done;
+    ready_at[i] = done;
+  }
+}
+
+SimTimeNs Ssd::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
+  auto& busy = busy_until_[ChannelFor(slot)];
+  const SimTimeNs start = std::max(now, busy);
+  const SimTimeNs done = start + write_.Sample(rng);
+  busy = done;
+  return done;
+}
+
+}  // namespace leap

@@ -1,0 +1,45 @@
+// NAND SSD model: ~20 us average 4KB read (paper Figure 1), several
+// independent channels, so modest internal parallelism before queueing.
+#ifndef LEAP_SRC_STORAGE_SSD_H_
+#define LEAP_SRC_STORAGE_SSD_H_
+
+#include <vector>
+
+#include "src/sim/latency_model.h"
+#include "src/storage/backing_store.h"
+
+namespace leap {
+
+struct SsdConfig {
+  SimTimeNs read_mean_ns = 20 * kNsPerUs;
+  SimTimeNs read_stddev_ns = 5 * kNsPerUs;
+  SimTimeNs read_min_ns = 8 * kNsPerUs;
+  SimTimeNs write_mean_ns = 60 * kNsPerUs;
+  SimTimeNs write_stddev_ns = 15 * kNsPerUs;
+  SimTimeNs write_min_ns = 25 * kNsPerUs;
+  size_t channels = 4;
+};
+
+class Ssd : public BackingStore {
+ public:
+  explicit Ssd(const SsdConfig& config = SsdConfig());
+
+  void ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
+                 std::span<SimTimeNs> ready_at) override;
+  SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) override;
+  std::string name() const override { return "ssd"; }
+  double MeanReadLatencyNs() const override { return read_.MeanNs(); }
+
+ private:
+  // Channel selected by slot (static striping, like flash dies).
+  size_t ChannelFor(SwapSlot slot) const { return slot % busy_until_.size(); }
+
+  SsdConfig config_;
+  LatencyModel read_;
+  LatencyModel write_;
+  std::vector<SimTimeNs> busy_until_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_STORAGE_SSD_H_

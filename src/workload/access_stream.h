@@ -1,0 +1,38 @@
+// Workload abstraction: a deterministic stream of page-granularity memory
+// operations driving the simulated machine.
+#ifndef LEAP_SRC_WORKLOAD_ACCESS_STREAM_H_
+#define LEAP_SRC_WORKLOAD_ACCESS_STREAM_H_
+
+#include <string>
+
+#include "src/sim/rng.h"
+#include "src/sim/types.h"
+
+namespace leap {
+
+struct MemOp {
+  Vpn vpn = 0;
+  bool write = false;
+  // CPU think time consumed before this access (compute between memory
+  // touches); gives each application its compute/memory balance.
+  SimTimeNs think_ns = 0;
+  // Marks the completion of one application-level operation (transaction,
+  // key-value op, ...) for throughput accounting.
+  bool op_end = false;
+};
+
+class AccessStream {
+ public:
+  virtual ~AccessStream() = default;
+
+  virtual MemOp Next(Rng& rng) = 0;
+
+  // Distinct pages the stream can touch (its working-set size).
+  virtual size_t footprint_pages() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_WORKLOAD_ACCESS_STREAM_H_

@@ -1,0 +1,89 @@
+#include "src/workload/app_models.h"
+
+namespace leap {
+
+std::unique_ptr<PhaseMixStream> MakePowerGraph(size_t footprint_pages,
+                                               uint64_t seed) {
+  PhaseMixConfig config;
+  config.name = "PowerGraph";
+  config.footprint_pages = footprint_pages;
+  config.think_min_ns = 250;
+  config.think_max_ns = 700;
+  config.accesses_per_op = 0;
+  config.zipf_theta = 0.85;  // natural-graph degree skew
+  // CSR edge scans: long sequential runs, interrupted by gathers.
+  config.phases.push_back(PhaseSpec{PhaseSpec::Kind::kSequential, 0.52, 24,
+                                    120, 0, 0, /*irregularity=*/0.08,
+                                    /*write_fraction=*/0.10});
+  // Vertex-property walks: strides span several pages (CSR offset/property
+  // arrays with multi-hundred-byte records), well past a readahead block.
+  config.phases.push_back(PhaseSpec{PhaseSpec::Kind::kStride, 0.18, 12, 48,
+                                    6, 24, 0.06, 0.05});
+  // Scatter/gather over neighbors: irregular.
+  config.phases.push_back(
+      PhaseSpec{PhaseSpec::Kind::kRandom, 0.30, 6, 28, 0, 0, 0.0, 0.15});
+  return std::make_unique<PhaseMixStream>(config, seed);
+}
+
+std::unique_ptr<PhaseMixStream> MakeNumPy(size_t footprint_pages,
+                                          uint64_t seed) {
+  PhaseMixConfig config;
+  config.name = "NumPy";
+  config.footprint_pages = footprint_pages;
+  config.think_min_ns = 120;
+  config.think_max_ns = 350;
+  config.accesses_per_op = 0;
+  // Streaming rows of the left operand: very long sequential runs.
+  config.phases.push_back(PhaseSpec{PhaseSpec::Kind::kSequential, 0.68, 64,
+                                    320, 0, 0, 0.02, 0.20});
+  // Column walks of the right operand: long constant-stride runs, one
+  // stride per matrix row (rows span many pages).
+  config.phases.push_back(PhaseSpec{PhaseSpec::Kind::kStride, 0.24, 32, 128,
+                                    9, 25, 0.02, 0.05});
+  // BLAS bookkeeping / result spills.
+  config.phases.push_back(
+      PhaseSpec{PhaseSpec::Kind::kRandom, 0.08, 4, 12, 0, 0, 0.0, 0.30});
+  return std::make_unique<PhaseMixStream>(config, seed);
+}
+
+std::unique_ptr<PhaseMixStream> MakeVoltDb(size_t footprint_pages,
+                                           uint64_t seed) {
+  PhaseMixConfig config;
+  config.name = "VoltDB";
+  config.footprint_pages = footprint_pages;
+  config.think_min_ns = 400;
+  config.think_max_ns = 1100;
+  // A TPC-C-like transaction touches a handful of index/tuple pages.
+  config.accesses_per_op = 12;
+  config.zipf_theta = 0.7;  // warehouse/district skew
+  // Short random transactions dominate (~69% irregular, section 5.3.3).
+  config.phases.push_back(
+      PhaseSpec{PhaseSpec::Kind::kRandom, 0.66, 6, 18, 0, 0, 0.0, 0.35});
+  // Index-range scans and table scans: short sequential runs.
+  config.phases.push_back(PhaseSpec{PhaseSpec::Kind::kSequential, 0.24, 6, 24,
+                                    0, 0, 0.10, 0.20});
+  // B-tree level walks: small strides.
+  config.phases.push_back(
+      PhaseSpec{PhaseSpec::Kind::kStride, 0.10, 4, 16, 2, 6, 0.10, 0.10});
+  return std::make_unique<PhaseMixStream>(config, seed);
+}
+
+std::unique_ptr<PhaseMixStream> MakeMemcached(size_t footprint_pages,
+                                              uint64_t seed) {
+  PhaseMixConfig config;
+  config.name = "Memcached";
+  config.footprint_pages = footprint_pages;
+  config.think_min_ns = 250;
+  config.think_max_ns = 600;
+  config.accesses_per_op = 2;  // hash bucket + item page
+  config.zipf_theta = 0.99;    // ETC-like key skew
+  // Overwhelmingly random (paper: ~96.4% irregular).
+  config.phases.push_back(
+      PhaseSpec{PhaseSpec::Kind::kRandom, 0.95, 8, 40, 0, 0, 0.0, 0.30});
+  // Slab-neighbor touches: rare, short sequential runs.
+  config.phases.push_back(PhaseSpec{PhaseSpec::Kind::kSequential, 0.05, 3, 8,
+                                    0, 0, 0.15, 0.20});
+  return std::make_unique<PhaseMixStream>(config, seed);
+}
+
+}  // namespace leap

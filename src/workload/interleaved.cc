@@ -1,0 +1,44 @@
+#include "src/workload/interleaved.h"
+
+#include <algorithm>
+
+namespace leap {
+
+InterleavedStream::InterleavedStream(
+    std::vector<std::unique_ptr<AccessStream>> threads, Mode mode,
+    size_t burst_len)
+    : threads_(std::move(threads)),
+      mode_(mode),
+      burst_len_(std::max<size_t>(1, burst_len)) {
+  for (const auto& thread : threads_) {
+    footprint_ = std::max(footprint_, thread->footprint_pages());
+  }
+}
+
+MemOp InterleavedStream::Next(Rng& rng) {
+  if (threads_.empty()) {
+    return MemOp{};
+  }
+  const MemOp op = threads_[current_]->Next(rng);
+  switch (mode_) {
+    case Mode::kRoundRobin:
+      current_ = (current_ + 1) % threads_.size();
+      break;
+    case Mode::kBursty:
+      if (++in_burst_ >= burst_len_) {
+        in_burst_ = 0;
+        current_ = (current_ + 1) % threads_.size();
+      }
+      break;
+  }
+  return op;
+}
+
+std::string InterleavedStream::name() const {
+  std::string name = mode_ == Mode::kRoundRobin ? "interleaved-rr"
+                                                : "interleaved-bursty";
+  name += "-" + std::to_string(threads_.size()) + "t";
+  return name;
+}
+
+}  // namespace leap

@@ -1,0 +1,46 @@
+// Interleaving of several child access streams - a multi-threaded process.
+//
+// Section 3.2.2 of the paper analyzes exactly this: perfectly interleaved
+// threads with different strides give the majority vote nothing to latch
+// onto (no delta reaches floor(w/2)+1), so Leap throttles instead of
+// guessing; bursty interleaving (each thread runs a while) leaves
+// majorities intact within a window. Both modes are provided.
+#ifndef LEAP_SRC_WORKLOAD_INTERLEAVED_H_
+#define LEAP_SRC_WORKLOAD_INTERLEAVED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workload/access_stream.h"
+
+namespace leap {
+
+class InterleavedStream : public AccessStream {
+ public:
+  enum class Mode {
+    kRoundRobin,  // perfectly interleaved: 1 access per thread per turn
+    kBursty,      // each thread runs `burst_len` accesses before switching
+  };
+
+  InterleavedStream(std::vector<std::unique_ptr<AccessStream>> threads,
+                    Mode mode, size_t burst_len = 16);
+
+  MemOp Next(Rng& rng) override;
+  size_t footprint_pages() const override { return footprint_; }
+  std::string name() const override;
+
+  size_t thread_count() const { return threads_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<AccessStream>> threads_;
+  Mode mode_;
+  size_t burst_len_;
+  size_t current_ = 0;
+  size_t in_burst_ = 0;
+  size_t footprint_ = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_WORKLOAD_INTERLEAVED_H_

@@ -1,0 +1,100 @@
+// Primitive access patterns: the microbenchmark workloads of the paper's
+// sections 2.2 and 5.1 (Sequential and Stride-N) plus uniform random.
+#ifndef LEAP_SRC_WORKLOAD_PATTERNS_H_
+#define LEAP_SRC_WORKLOAD_PATTERNS_H_
+
+#include <numeric>
+#include <string>
+
+#include "src/workload/access_stream.h"
+
+namespace leap {
+
+// Touches pages 0, 1, 2, ... footprint-1, then wraps.
+class SequentialStream : public AccessStream {
+ public:
+  SequentialStream(size_t footprint_pages, SimTimeNs think_ns = 0,
+                   bool writes = false)
+      : footprint_(footprint_pages), think_ns_(think_ns), writes_(writes) {}
+
+  MemOp Next(Rng&) override {
+    MemOp op{next_, writes_, think_ns_, true};
+    next_ = (next_ + 1) % footprint_;
+    return op;
+  }
+  size_t footprint_pages() const override { return footprint_; }
+  std::string name() const override { return "sequential"; }
+
+ private:
+  size_t footprint_;
+  SimTimeNs think_ns_;
+  bool writes_;
+  Vpn next_ = 0;
+};
+
+// Touches pages 0, N, 2N, ... wrapping inside the footprint; the paper's
+// Stride-10 microbenchmark is StrideStream(footprint, 10).
+class StrideStream : public AccessStream {
+ public:
+  StrideStream(size_t footprint_pages, size_t stride,
+               SimTimeNs think_ns = 0)
+      : footprint_(footprint_pages),
+        stride_(stride == 0 ? 1 : stride),
+        think_ns_(think_ns) {}
+
+  MemOp Next(Rng&) override {
+    MemOp op{next_, false, think_ns_, true};
+    next_ += stride_;
+    if (next_ >= footprint_) {
+      // Advance to another residue lane so sweeps keep faulting. The lane
+      // step is coprime with the stride and as far from +-1 as possible so
+      // cluster prefetches for one lane cannot accidentally serve the
+      // next - keeping the pattern a pure stride, like the paper's
+      // microbenchmark.
+      lane_ = (lane_ + LaneStep()) % stride_;
+      next_ = lane_;
+    }
+    return op;
+  }
+  size_t footprint_pages() const override { return footprint_; }
+  std::string name() const override {
+    return "stride-" + std::to_string(stride_);
+  }
+
+ private:
+  size_t LaneStep() const {
+    for (size_t step = stride_ / 2; step >= 2; --step) {
+      if (std::gcd(step, stride_) == 1) {
+        return step;
+      }
+    }
+    return 1;
+  }
+
+  size_t footprint_;
+  size_t stride_;
+  SimTimeNs think_ns_;
+  Vpn next_ = 0;
+  size_t lane_ = 0;
+};
+
+// Uniformly random page touches.
+class RandomStream : public AccessStream {
+ public:
+  explicit RandomStream(size_t footprint_pages, SimTimeNs think_ns = 0)
+      : footprint_(footprint_pages), think_ns_(think_ns) {}
+
+  MemOp Next(Rng& rng) override {
+    return MemOp{rng.NextU64(footprint_), false, think_ns_, true};
+  }
+  size_t footprint_pages() const override { return footprint_; }
+  std::string name() const override { return "random"; }
+
+ private:
+  size_t footprint_;
+  SimTimeNs think_ns_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_WORKLOAD_PATTERNS_H_

@@ -1,0 +1,100 @@
+#include "src/workload/phase_mix.h"
+
+#include <algorithm>
+
+namespace leap {
+
+PhaseMixStream::PhaseMixStream(const PhaseMixConfig& config, uint64_t seed)
+    : config_(config),
+      zipf_(std::max<size_t>(1, config.footprint_pages), config.zipf_theta) {
+  if (config_.phases.empty()) {
+    config_.phases.push_back(PhaseSpec{});
+  }
+  for (const PhaseSpec& phase : config_.phases) {
+    total_weight_ += phase.weight;
+  }
+  Rng boot(seed);
+  StartPhase(boot);
+}
+
+Vpn PhaseMixStream::RandomPage(Rng& rng) {
+  if (config_.zipf_theta > 0.0) {
+    // Scramble the rank so hot pages spread over the address space instead
+    // of clustering at low vpns (which would look sequential).
+    const uint64_t rank = zipf_.Sample(rng);
+    const uint64_t scrambled =
+        rank * 0x9E3779B97F4A7C15ULL % config_.footprint_pages;
+    return scrambled;
+  }
+  return rng.NextU64(config_.footprint_pages);
+}
+
+void PhaseMixStream::StartPhase(Rng& rng) {
+  double pick = rng.NextDouble() * total_weight_;
+  phase_index_ = 0;
+  for (size_t i = 0; i < config_.phases.size(); ++i) {
+    pick -= config_.phases[i].weight;
+    if (pick <= 0.0) {
+      phase_index_ = i;
+      break;
+    }
+  }
+  const PhaseSpec& phase = config_.phases[phase_index_];
+  remaining_in_phase_ = phase.min_len + rng.NextU64(phase.max_len -
+                                                    phase.min_len + 1);
+  switch (phase.kind) {
+    case PhaseSpec::Kind::kSequential:
+      stride_ = 1;
+      cursor_ = RandomPage(rng);
+      break;
+    case PhaseSpec::Kind::kStride:
+      stride_ = phase.min_stride +
+                static_cast<PageDelta>(rng.NextU64(
+                    static_cast<uint64_t>(phase.max_stride - phase.min_stride) +
+                    1));
+      if (rng.NextBool(0.3)) {
+        stride_ = -stride_;  // descending walks exist too
+      }
+      cursor_ = RandomPage(rng);
+      break;
+    case PhaseSpec::Kind::kRandom:
+      stride_ = 0;
+      break;
+  }
+}
+
+MemOp PhaseMixStream::Next(Rng& rng) {
+  const PhaseSpec& phase = config_.phases[phase_index_];
+  MemOp op;
+  op.think_ns = config_.think_min_ns +
+                rng.NextU64(config_.think_max_ns - config_.think_min_ns + 1);
+  op.write = rng.NextBool(phase.write_fraction);
+
+  const bool irregular =
+      phase.kind == PhaseSpec::Kind::kRandom || rng.NextBool(phase.irregularity);
+  if (irregular) {
+    op.vpn = RandomPage(rng);
+  } else {
+    const int64_t next = static_cast<int64_t>(cursor_) + stride_;
+    const int64_t fp = static_cast<int64_t>(config_.footprint_pages);
+    cursor_ = static_cast<Vpn>(((next % fp) + fp) % fp);
+    op.vpn = cursor_;
+  }
+
+  if (config_.accesses_per_op == 0) {
+    op.op_end = true;
+  } else {
+    ++since_op_end_;
+    if (since_op_end_ >= config_.accesses_per_op) {
+      since_op_end_ = 0;
+      op.op_end = true;
+    }
+  }
+
+  if (--remaining_in_phase_ == 0) {
+    StartPhase(rng);
+  }
+  return op;
+}
+
+}  // namespace leap

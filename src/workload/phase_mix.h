@@ -1,0 +1,72 @@
+// Phase-based synthetic workload generator.
+//
+// Applications in the paper exhibit a mixture of sequential runs, strided
+// runs, and irregular bursts at page-fault granularity (Figure 3). This
+// generator walks between such phases with configurable weights, lengths,
+// strides, and per-access irregularity injection, and is the backbone of
+// the four application models (src/workload/app_models.h), each calibrated
+// against Figure 3's measured pattern fractions.
+#ifndef LEAP_SRC_WORKLOAD_PHASE_MIX_H_
+#define LEAP_SRC_WORKLOAD_PHASE_MIX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/zipf.h"
+#include "src/workload/access_stream.h"
+
+namespace leap {
+
+struct PhaseSpec {
+  enum class Kind { kSequential, kStride, kRandom };
+  Kind kind = Kind::kSequential;
+  double weight = 1.0;       // relative probability of entering this phase
+  size_t min_len = 8;        // accesses per phase occurrence
+  size_t max_len = 64;
+  PageDelta min_stride = 2;  // stride range (kStride only)
+  PageDelta max_stride = 8;
+  // Per-access probability of an out-of-pattern (random) touch inside the
+  // phase - the "short-term irregularity" majority voting must tolerate.
+  double irregularity = 0.0;
+  double write_fraction = 0.0;
+};
+
+struct PhaseMixConfig {
+  std::string name = "phase-mix";
+  size_t footprint_pages = 1 << 16;
+  std::vector<PhaseSpec> phases;
+  SimTimeNs think_min_ns = 150;
+  SimTimeNs think_max_ns = 500;
+  // Accesses per application-level operation (op_end cadence); 0 = every
+  // access is an op.
+  size_t accesses_per_op = 0;
+  // Zipf skew for random touches (0 = uniform).
+  double zipf_theta = 0.0;
+};
+
+class PhaseMixStream : public AccessStream {
+ public:
+  explicit PhaseMixStream(const PhaseMixConfig& config, uint64_t seed);
+
+  MemOp Next(Rng& rng) override;
+  size_t footprint_pages() const override { return config_.footprint_pages; }
+  std::string name() const override { return config_.name; }
+
+ private:
+  void StartPhase(Rng& rng);
+  Vpn RandomPage(Rng& rng);
+
+  PhaseMixConfig config_;
+  ZipfSampler zipf_;
+  double total_weight_ = 0.0;
+
+  size_t phase_index_ = 0;
+  size_t remaining_in_phase_ = 0;
+  Vpn cursor_ = 0;
+  PageDelta stride_ = 1;
+  size_t since_op_end_ = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_WORKLOAD_PHASE_MIX_H_

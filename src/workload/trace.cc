@@ -1,0 +1,59 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace leap {
+
+bool Trace::SaveTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  for (const MemOp& op : ops_) {
+    out << op.vpn << ' ' << (op.write ? 'w' : 'r') << ' ' << op.think_ns << ' '
+        << (op.op_end ? 1 : 0) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> Trace::LoadFrom(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  Trace trace;
+  uint64_t vpn = 0;
+  char rw = 'r';
+  uint64_t think = 0;
+  int op_end = 0;
+  while (in >> vpn >> rw >> think >> op_end) {
+    trace.Append(MemOp{vpn, rw == 'w', think, op_end != 0});
+  }
+  return trace;
+}
+
+Trace Trace::Capture(AccessStream& stream, size_t n, Rng& rng) {
+  Trace trace;
+  for (size_t i = 0; i < n; ++i) {
+    trace.Append(stream.Next(rng));
+  }
+  return trace;
+}
+
+TraceReplayStream::TraceReplayStream(Trace trace) : trace_(std::move(trace)) {
+  for (const MemOp& op : trace_.ops()) {
+    footprint_ = std::max<size_t>(footprint_, op.vpn + 1);
+  }
+}
+
+MemOp TraceReplayStream::Next(Rng&) {
+  if (trace_.size() == 0) {
+    return MemOp{};
+  }
+  const MemOp& op = trace_.ops()[position_];
+  position_ = (position_ + 1) % trace_.size();
+  return op;
+}
+
+}  // namespace leap

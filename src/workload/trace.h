@@ -1,0 +1,56 @@
+// Trace record/replay: capture any AccessStream to a file and feed it back
+// later. This is what makes the reproduction "trace-driven": a workload can
+// be generated once and replayed bit-identically across every machine
+// configuration under comparison.
+//
+// Format: one op per line, text: "<vpn> <w|r> <think_ns> <0|1 op_end>".
+#ifndef LEAP_SRC_WORKLOAD_TRACE_H_
+#define LEAP_SRC_WORKLOAD_TRACE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/workload/access_stream.h"
+
+namespace leap {
+
+// In-memory trace, loadable from / storable to disk.
+class Trace {
+ public:
+  Trace() = default;
+
+  void Append(const MemOp& op) { ops_.push_back(op); }
+  const std::vector<MemOp>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+
+  bool SaveTo(const std::string& path) const;
+  static std::optional<Trace> LoadFrom(const std::string& path);
+
+  // Records `n` ops from `stream`.
+  static Trace Capture(AccessStream& stream, size_t n, Rng& rng);
+
+ private:
+  std::vector<MemOp> ops_;
+};
+
+// Replays a trace as an AccessStream (wraps around at the end).
+class TraceReplayStream : public AccessStream {
+ public:
+  explicit TraceReplayStream(Trace trace);
+
+  MemOp Next(Rng&) override;
+  size_t footprint_pages() const override { return footprint_; }
+  std::string name() const override { return "trace-replay"; }
+
+  size_t position() const { return position_; }
+
+ private:
+  Trace trace_;
+  size_t position_ = 0;
+  size_t footprint_ = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_WORKLOAD_TRACE_H_

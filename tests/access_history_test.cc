@@ -1,0 +1,89 @@
+#include "src/core/access_history.h"
+
+#include <gtest/gtest.h>
+
+namespace leap {
+namespace {
+
+TEST(AccessHistory, StartsEmpty) {
+  AccessHistory h(8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.capacity(), 8u);
+}
+
+TEST(AccessHistory, ZeroCapacityClampedToOne) {
+  AccessHistory h(0);
+  EXPECT_EQ(h.capacity(), 1u);
+  h.Push(5);
+  EXPECT_EQ(h.FromHead(0), 5);
+}
+
+TEST(AccessHistory, HeadIsNewestEntry) {
+  AccessHistory h(4);
+  h.Push(1);
+  h.Push(2);
+  h.Push(3);
+  EXPECT_EQ(h.FromHead(0), 3);
+  EXPECT_EQ(h.FromHead(1), 2);
+  EXPECT_EQ(h.FromHead(2), 1);
+}
+
+TEST(AccessHistory, WrapsAroundOverwritingOldest) {
+  AccessHistory h(3);
+  for (PageDelta d = 1; d <= 5; ++d) {
+    h.Push(d);
+  }
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.FromHead(0), 5);
+  EXPECT_EQ(h.FromHead(1), 4);
+  EXPECT_EQ(h.FromHead(2), 3);
+}
+
+TEST(AccessHistory, SizeSaturatesAtCapacity) {
+  AccessHistory h(4);
+  for (int i = 0; i < 100; ++i) {
+    h.Push(i);
+  }
+  EXPECT_EQ(h.size(), 4u);
+}
+
+TEST(AccessHistory, NegativeDeltasStored) {
+  AccessHistory h(4);
+  h.Push(-3);
+  h.Push(72);
+  EXPECT_EQ(h.FromHead(1), -3);
+  EXPECT_EQ(h.FromHead(0), 72);
+}
+
+TEST(AccessHistory, ClearResets) {
+  AccessHistory h(4);
+  h.Push(1);
+  h.Push(2);
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  h.Push(9);
+  EXPECT_EQ(h.FromHead(0), 9);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(AccessHistory, PaperDeltaEncodingExample) {
+  // Section 4.1: faults at 0x2, 0x5, 0x4, 0x6, 0x1, 0x9 store deltas
+  // 0(+3)(-1)(+2)(-5)(+8); the first access has no predecessor, so we
+  // store the five deltas produced by consecutive pairs.
+  AccessHistory h(8);
+  const Vpn faults[] = {0x2, 0x5, 0x4, 0x6, 0x1, 0x9};
+  for (size_t i = 1; i < std::size(faults); ++i) {
+    h.Push(static_cast<PageDelta>(faults[i]) -
+           static_cast<PageDelta>(faults[i - 1]));
+  }
+  EXPECT_EQ(h.size(), 5u);
+  EXPECT_EQ(h.FromHead(4), 3);
+  EXPECT_EQ(h.FromHead(3), -1);
+  EXPECT_EQ(h.FromHead(2), 2);
+  EXPECT_EQ(h.FromHead(1), -5);
+  EXPECT_EQ(h.FromHead(0), 8);
+}
+
+}  // namespace
+}  // namespace leap

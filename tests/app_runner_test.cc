@@ -1,0 +1,94 @@
+// End-to-end runs on small configurations: completion, throughput, and
+// multi-app interleaving.
+#include "src/runtime/app_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/presets.h"
+#include "src/workload/app_models.h"
+#include "src/workload/patterns.h"
+
+namespace leap {
+namespace {
+
+TEST(AppRunner, CompletesRequestedAccesses) {
+  Machine machine(LeapVmmConfig(2048, 1));
+  const Pid pid = machine.CreateProcess(512);
+  SequentialStream stream(4096, 200);
+  RunConfig config;
+  config.total_accesses = 20000;
+  const RunResult result = RunApp(machine, pid, stream, config);
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.accesses, 20000u);
+  EXPECT_GT(result.completion_ns, 0u);
+  EXPECT_EQ(result.access_latency.count(), 20000u);
+}
+
+TEST(AppRunner, TimeCapMarksUnfinished) {
+  Machine machine(DiskSwapConfig(Medium::kHdd, PrefetchKind::kReadAhead,
+                                 1024, 2));
+  const Pid pid = machine.CreateProcess(256);
+  RandomStream stream(8192, 100);
+  RunConfig config;
+  config.total_accesses = 10'000'000;  // far more than the cap allows
+  config.time_cap_ns = 50 * kNsPerMs;
+  const RunResult result = RunApp(machine, pid, stream, config);
+  EXPECT_FALSE(result.finished);
+  EXPECT_LT(result.accesses, config.total_accesses);
+}
+
+TEST(AppRunner, OpsPerSecondComputed) {
+  Machine machine(LeapVmmConfig(2048, 3));
+  const Pid pid = machine.CreateProcess(0);
+  SequentialStream stream(1024, 1000);
+  RunConfig config;
+  config.total_accesses = 5000;
+  const RunResult result = RunApp(machine, pid, stream, config);
+  EXPECT_GT(result.ops_per_sec, 0.0);
+  EXPECT_EQ(result.app_ops, 5000u);
+}
+
+TEST(AppRunner, RemoteLatencyOnlyCountsNonResidentAccesses) {
+  Machine machine(LeapVmmConfig(8192, 4));
+  const Pid pid = machine.CreateProcess(0);  // everything fits
+  SequentialStream stream(1024, 100);
+  RunConfig config;
+  config.total_accesses = 5000;
+  const RunResult result = RunApp(machine, pid, stream, config);
+  // No memory pressure: no remote accesses at all.
+  EXPECT_EQ(result.remote_access_latency.count(), 0u);
+}
+
+TEST(AppRunner, ConcurrentAppsInterleaveOnSharedMachine) {
+  Machine machine(LeapVmmConfig(4096, 5));
+  const Pid a = machine.CreateProcess(256);
+  const Pid b = machine.CreateProcess(256);
+  auto wl_a = MakePowerGraph(2048, 10);
+  auto wl_b = MakeMemcached(2048, 11);
+  RunConfig config;
+  config.total_accesses = 30000;
+  std::vector<MultiAppSpec> specs = {{a, wl_a.get(), config},
+                                     {b, wl_b.get(), config}};
+  const auto results = RunAppsConcurrently(machine, std::move(specs));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].finished);
+  EXPECT_TRUE(results[1].finished);
+  EXPECT_EQ(results[0].accesses, 30000u);
+  EXPECT_EQ(results[1].accesses, 30000u);
+}
+
+TEST(AppRunner, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Machine machine(LeapVmmConfig(2048, 7));
+    const Pid pid = machine.CreateProcess(512);
+    auto stream = MakeVoltDb(4096, 13);
+    RunConfig config;
+    config.total_accesses = 20000;
+    config.seed = 21;
+    return RunApp(machine, pid, *stream, config).completion_ns;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace leap

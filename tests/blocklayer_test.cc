@@ -1,0 +1,148 @@
+// Block layer: elevator merge/sort, batching semantics, stage overheads.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/blocklayer/request_queue.h"
+#include "src/storage/hdd.h"
+#include "src/storage/ssd.h"
+
+namespace leap {
+namespace {
+
+TEST(Bio, MergePredicate) {
+  const Bio a{100, 4, false, 0};
+  EXPECT_EQ(a.end(), 104u);
+  EXPECT_TRUE(a.CanMergeWith(Bio{104, 2, false, 0}));  // back merge
+  EXPECT_TRUE(a.CanMergeWith(Bio{98, 2, false, 0}));   // front merge
+  EXPECT_FALSE(a.CanMergeWith(Bio{105, 2, false, 0}));
+  EXPECT_FALSE(a.CanMergeWith(Bio{104, 2, true, 0}));  // rw mismatch
+}
+
+TEST(RequestQueue, MergeAndSortCollapsesContiguousRuns) {
+  const std::vector<SwapSlot> slots = {7, 5, 6, 100, 101, 3};
+  const auto requests = RequestQueue::MergeAndSort(slots, false, 0);
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0].start, 3u);
+  EXPECT_EQ(requests[0].npages, 1u);
+  EXPECT_EQ(requests[1].start, 5u);
+  EXPECT_EQ(requests[1].npages, 3u);
+  EXPECT_EQ(requests[2].start, 100u);
+  EXPECT_EQ(requests[2].npages, 2u);
+}
+
+TEST(RequestQueue, MergeAndSortDeduplicates) {
+  const std::vector<SwapSlot> slots = {4, 4, 5, 5};
+  const auto requests = RequestQueue::MergeAndSort(slots, false, 0);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].npages, 2u);
+}
+
+class RequestQueueTest : public ::testing::Test {
+ protected:
+  RequestQueueTest() : store_(SsdConfig{}), queue_(BlockLayerConfig{}, &store_) {}
+
+  Ssd store_;
+  RequestQueue queue_;
+  Rng rng_{17};
+};
+
+TEST_F(RequestQueueTest, SingleReadPaysAllStages) {
+  const SwapSlot slot = 9;
+  SimTimeNs ready = 0;
+  queue_.SubmitBatch({&slot, 1}, false, 0, rng_, {&ready, 1});
+  // Minimum possible: stage floors + device floor.
+  const BlockLayerConfig config;
+  EXPECT_GE(ready, config.prep_min_ns + config.queue_min_ns +
+                       config.dispatch_min_ns + SsdConfig().read_min_ns);
+}
+
+TEST_F(RequestQueueTest, StageOverheadAveragesNearFigure1) {
+  // Mean software overhead should approximate 10.04 + 21.88 + 2.1 ~ 34 us.
+  double sum = 0;
+  const int n = 3000;
+  SimTimeNs now = 0;
+  for (int i = 0; i < n; ++i) {
+    const SwapSlot slot = static_cast<SwapSlot>(i) * 1000;
+    SimTimeNs ready = 0;
+    queue_.SubmitBatch({&slot, 1}, false, now, rng_, {&ready, 1});
+    sum += static_cast<double>(ready - now);
+    now = ready + 200000;
+  }
+  const double mean_us = sum / n / 1000.0;
+  // ~34 us stages + ~20 us SSD.
+  EXPECT_GT(mean_us, 44.0);
+  EXPECT_LT(mean_us, 66.0);
+}
+
+TEST_F(RequestQueueTest, PagesCompleteInElevatorOrderOnDisk) {
+  // Bio-granular completion in sorted order: on a single-head device,
+  // later slots of a merged run finish no earlier than earlier ones.
+  Hdd hdd;
+  RequestQueue disk_queue(BlockLayerConfig{}, &hdd);
+  std::vector<SwapSlot> batch = {50, 51, 52, 53, 54, 55, 56, 57};
+  std::vector<SimTimeNs> ready(batch.size(), 0);
+  disk_queue.SubmitBatch(batch, false, 0, rng_, ready);
+  for (size_t i = 1; i < ready.size(); ++i) {
+    EXPECT_GE(ready[i], ready[i - 1]);
+  }
+}
+
+TEST_F(RequestQueueTest, DemandInMiddleOfRunWaitsForPredecessors) {
+  // A demand page sorted behind prefetch pages eats their service time -
+  // the elevator reordering cost of the default path.
+  Hdd hdd;
+  RequestQueue disk_queue(BlockLayerConfig{}, &hdd);
+  std::vector<SwapSlot> batch = {54, 50, 51, 52, 53};  // demand = 54
+  std::vector<SimTimeNs> ready(batch.size(), 0);
+  disk_queue.SubmitBatch(batch, false, 0, rng_, ready);
+  // The demand page (slot 54) completes last in the merged run.
+  for (size_t i = 1; i < ready.size(); ++i) {
+    EXPECT_LE(ready[i], ready[0]);
+  }
+}
+
+TEST_F(RequestQueueTest, MergedBatchCountsBios) {
+  std::vector<SwapSlot> batch = {10, 11, 12, 13};
+  std::vector<SimTimeNs> ready(batch.size(), 0);
+  queue_.SubmitBatch(batch, false, 0, rng_, ready);
+  EXPECT_EQ(queue_.requests_dispatched(), 1u);
+  EXPECT_EQ(queue_.bios_merged(), 3u);
+}
+
+TEST_F(RequestQueueTest, WritesGoThroughStagesToo) {
+  const SimTimeNs done = queue_.SubmitWrite(77, 0, rng_);
+  const BlockLayerConfig config;
+  EXPECT_GE(done, config.prep_min_ns + config.queue_min_ns +
+                      config.dispatch_min_ns + SsdConfig().write_min_ns);
+}
+
+TEST_F(RequestQueueTest, EmptyBatchIsNoOp) {
+  std::vector<SimTimeNs> ready;
+  queue_.SubmitBatch({}, false, 0, rng_, ready);
+  EXPECT_EQ(queue_.requests_dispatched(), 0u);
+}
+
+TEST_F(RequestQueueTest, HighVarianceDragsMeanAboveMedian) {
+  // The paper's observation about preparation/batching variance.
+  std::vector<SimTimeNs> samples;
+  SimTimeNs now = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const SwapSlot slot = static_cast<SwapSlot>(i) * 997;
+    SimTimeNs ready = 0;
+    queue_.SubmitBatch({&slot, 1}, false, now, rng_, {&ready, 1});
+    samples.push_back(ready - now);
+    now = ready + 200000;
+  }
+  std::sort(samples.begin(), samples.end());
+  double sum = 0;
+  for (SimTimeNs s : samples) {
+    sum += static_cast<double>(s);
+  }
+  const double mean = sum / static_cast<double>(samples.size());
+  const double median = static_cast<double>(samples[samples.size() / 2]);
+  EXPECT_GT(mean, median * 1.05);
+}
+
+}  // namespace
+}  // namespace leap

@@ -1,0 +1,115 @@
+// Default vs Leap data paths: relative latency structure.
+#include "src/paging/data_path.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/rdma/host_agent.h"
+#include "src/rdma/remote_agent.h"
+#include "src/sim/rng.h"
+
+namespace leap {
+namespace {
+
+class DataPathTest : public ::testing::Test {
+ protected:
+  DataPathTest() {
+    // Each data path gets its own host (NIC + remote pool): they model two
+    // separate machines under comparison, not one shared fabric.
+    node_a_ = std::make_unique<RemoteAgent>(0, 4096);
+    node_b_ = std::make_unique<RemoteAgent>(0, 4096);
+    agent_ = std::make_unique<HostAgent>(
+        HostAgentConfig{}, std::vector<RemoteAgent*>{node_a_.get()}, 3);
+    agent_b_ = std::make_unique<HostAgent>(
+        HostAgentConfig{}, std::vector<RemoteAgent*>{node_b_.get()}, 3);
+  }
+
+  std::unique_ptr<RemoteAgent> node_a_;
+  std::unique_ptr<RemoteAgent> node_b_;
+  std::unique_ptr<HostAgent> agent_;
+  std::unique_ptr<HostAgent> agent_b_;
+  Rng rng_{23};
+};
+
+TEST_F(DataPathTest, LeapMissFarFasterThanDefaultMiss) {
+  DefaultDataPath default_path(DefaultPathConfig{}, agent_.get());
+  LeapDataPath leap_path(LeapPathConfig{}, agent_b_.get());
+
+  double default_sum = 0;
+  double leap_sum = 0;
+  const int n = 2000;
+  SimTimeNs now = 0;
+  for (int i = 0; i < n; ++i) {
+    const SwapSlot slot = static_cast<SwapSlot>(i) * 131;
+    SimTimeNs ready = 0;
+    default_sum += static_cast<double>(
+        default_path.ReadPages({&slot, 1}, now, rng_, {&ready, 1}) - now);
+    leap_sum += static_cast<double>(
+        leap_path.ReadPages({&slot, 1}, now, rng_, {&ready, 1}) - now);
+    now += 500000;
+  }
+  const double default_mean_us = default_sum / n / 1000.0;
+  const double leap_mean_us = leap_sum / n / 1000.0;
+  // Section 2.2: ~38.3 us default vs ~6.4 us lean path.
+  EXPECT_GT(default_mean_us, 30.0);
+  EXPECT_LT(default_mean_us, 48.0);
+  EXPECT_GT(leap_mean_us, 4.5);
+  EXPECT_LT(leap_mean_us, 9.0);
+  EXPECT_GT(default_mean_us / leap_mean_us, 4.0);
+}
+
+TEST_F(DataPathTest, LeapDemandDoesNotWaitForPrefetchPages) {
+  LeapDataPath leap_path(LeapPathConfig{}, agent_.get());
+  std::vector<SwapSlot> batch = {10, 11, 12, 13, 14, 15, 16, 17};
+  std::vector<SimTimeNs> ready(batch.size(), 0);
+  const SimTimeNs demand_ready =
+      leap_path.ReadPages(batch, 0, rng_, ready);
+  EXPECT_EQ(demand_ready, ready[0]);
+  // At least some trailing prefetch page completes after the demand page
+  // (asynchronous trickle), instead of the default path's all-at-once.
+  const SimTimeNs max_ready = *std::max_element(ready.begin(), ready.end());
+  EXPECT_GT(max_ready, demand_ready);
+}
+
+TEST_F(DataPathTest, DefaultDemandPaysStagesAndElevatorOrder) {
+  DefaultDataPath default_path(DefaultPathConfig{}, agent_.get());
+  // Demand page 14 arrives sorted behind 10..13 in the merged request.
+  std::vector<SwapSlot> batch = {14, 10, 11, 12, 13, 15, 16, 17};
+  std::vector<SimTimeNs> ready(batch.size(), 0);
+  const SimTimeNs demand_ready =
+      default_path.ReadPages(batch, 0, rng_, ready);
+  EXPECT_EQ(demand_ready, ready[0]);
+  // Lower-addressed prefetch pages hit the wire first; the demand page
+  // cannot complete before the earliest of them started (remote completion
+  // order itself can cross due to per-op latency variance).
+  EXPECT_GT(demand_ready, *std::min_element(ready.begin(), ready.end()) -
+                              RdmaNicConfig().base_stddev_ns * 6);
+  // The batch paid the block-layer stages before any page completed.
+  const BlockLayerConfig block;
+  EXPECT_GE(*std::min_element(ready.begin(), ready.end()),
+            block.prep_min_ns + block.queue_min_ns + block.dispatch_min_ns);
+}
+
+TEST_F(DataPathTest, HitCostsMatchPresets) {
+  DefaultPathConfig vmm;
+  vmm.hit_cost_ns = 1050;
+  vmm.hit_jitter_ns = 0;
+  DefaultDataPath default_path(vmm, agent_.get());
+  LeapPathConfig lp;
+  lp.hit_cost_ns = 270;
+  lp.hit_jitter_ns = 0;
+  LeapDataPath leap_path(lp, agent_.get());
+  EXPECT_EQ(default_path.CacheHitCost(rng_), 1050u);
+  EXPECT_EQ(leap_path.CacheHitCost(rng_), 270u);
+}
+
+TEST_F(DataPathTest, Names) {
+  DefaultDataPath default_path(DefaultPathConfig{}, agent_.get());
+  LeapDataPath leap_path(LeapPathConfig{}, agent_.get());
+  EXPECT_EQ(default_path.name(), "default");
+  EXPECT_EQ(leap_path.name(), "leap");
+}
+
+}  // namespace
+}  // namespace leap

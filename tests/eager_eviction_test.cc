@@ -1,0 +1,87 @@
+#include "src/core/eager_eviction.h"
+
+#include <gtest/gtest.h>
+
+namespace leap {
+namespace {
+
+TEST(PrefetchFifoLruList, StartsEmpty) {
+  PrefetchFifoLruList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(list.PopOldest().has_value());
+}
+
+TEST(PrefetchFifoLruList, FifoOrderUnderPressure) {
+  PrefetchFifoLruList list;
+  list.OnPrefetched(10);
+  list.OnPrefetched(20);
+  list.OnPrefetched(30);
+  EXPECT_EQ(list.PopOldest(), 10u);
+  EXPECT_EQ(list.PopOldest(), 20u);
+  EXPECT_EQ(list.PopOldest(), 30u);
+  EXPECT_FALSE(list.PopOldest().has_value());
+}
+
+TEST(PrefetchFifoLruList, ConsumedPagesLeaveTheList) {
+  PrefetchFifoLruList list;
+  list.OnPrefetched(1);
+  list.OnPrefetched(2);
+  list.OnPrefetched(3);
+  EXPECT_TRUE(list.OnConsumed(2));
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(list.Contains(2));
+  EXPECT_EQ(list.PopOldest(), 1u);
+  EXPECT_EQ(list.PopOldest(), 3u);
+}
+
+TEST(PrefetchFifoLruList, ConsumeUnknownSlotIsFalse) {
+  PrefetchFifoLruList list;
+  list.OnPrefetched(5);
+  EXPECT_FALSE(list.OnConsumed(99));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(PrefetchFifoLruList, DuplicateInsertKeepsOriginalPosition) {
+  PrefetchFifoLruList list;
+  list.OnPrefetched(7);
+  list.OnPrefetched(8);
+  list.OnPrefetched(7);  // duplicate: no reordering
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.PopOldest(), 7u);
+}
+
+TEST(PrefetchFifoLruList, ClearEmptiesEverything) {
+  PrefetchFifoLruList list;
+  for (SwapSlot s = 0; s < 100; ++s) {
+    list.OnPrefetched(s);
+  }
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(list.Contains(50));
+}
+
+TEST(PrefetchFifoLruList, InterleavedOperationsStayConsistent) {
+  PrefetchFifoLruList list;
+  for (SwapSlot s = 0; s < 1000; ++s) {
+    list.OnPrefetched(s);
+    if (s % 3 == 0) {
+      list.OnConsumed(s / 2);
+    }
+    if (s % 7 == 0) {
+      list.PopOldest();
+    }
+  }
+  // Drain and check strictly increasing order (FIFO of survivors).
+  SwapSlot prev = 0;
+  bool first = true;
+  while (auto slot = list.PopOldest()) {
+    if (!first) {
+      EXPECT_GT(*slot, prev);
+    }
+    prev = *slot;
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace leap

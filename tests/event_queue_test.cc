@@ -1,0 +1,91 @@
+#include "src/sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace leap {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&](SimTimeNs) { order.push_back(3); });
+  q.ScheduleAt(10, [&](SimTimeNs) { order.push_back(1); });
+  q.ScheduleAt(20, [&](SimTimeNs) { order.push_back(2); });
+  EXPECT_EQ(q.RunUntil(100), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(42, [&order, i](SimTimeNs) { order.push_back(i); });
+  }
+  q.RunUntil(42);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilIsInclusive) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(50, [&](SimTimeNs) { ++ran; });
+  EXPECT_EQ(q.RunUntil(49), 0u);
+  EXPECT_EQ(q.RunUntil(50), 1u);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, CallbackReceivesScheduledTime) {
+  EventQueue q;
+  SimTimeNs seen = 0;
+  q.ScheduleAt(77, [&](SimTimeNs when) { seen = when; });
+  q.RunUntil(100);
+  EXPECT_EQ(seen, 77u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<SimTimeNs> fired;
+  // Self-rescheduling event (like kswapd's periodic wakeup).
+  std::function<void(SimTimeNs)> tick = [&](SimTimeNs when) {
+    fired.push_back(when);
+    if (when < 50) {
+      q.ScheduleAt(when + 10, tick);
+    }
+  };
+  q.ScheduleAt(10, tick);
+  q.RunUntil(100);
+  EXPECT_EQ(fired, (std::vector<SimTimeNs>{10, 20, 30, 40, 50}));
+}
+
+TEST(EventQueue, ChildEventDueWithinWindowRunsInSameDrain) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(10, [&](SimTimeNs) {
+    q.ScheduleAt(15, [&](SimTimeNs) { ++ran; });
+  });
+  q.RunUntil(20);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, NextEventTime) {
+  EventQueue q;
+  EXPECT_EQ(q.NextEventTime(), EventQueue::kNoEvent);
+  q.ScheduleAt(99, [](SimTimeNs) {});
+  q.ScheduleAt(12, [](SimTimeNs) {});
+  EXPECT_EQ(q.NextEventTime(), 12u);
+}
+
+TEST(EventQueue, ClearDropsPending) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(5, [&](SimTimeNs) { ++ran; });
+  q.Clear();
+  EXPECT_EQ(q.RunUntil(100), 0u);
+  EXPECT_EQ(ran, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace leap

@@ -1,0 +1,90 @@
+#include "src/sim/latency_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace leap {
+namespace {
+
+TEST(LatencyModel, ConstantAlwaysReturnsValue) {
+  Rng rng(1);
+  const auto m = LatencyModel::Constant(4300);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.Sample(rng), 4300u);
+  }
+  EXPECT_DOUBLE_EQ(m.MeanNs(), 4300.0);
+}
+
+TEST(LatencyModel, UniformStaysInRange) {
+  Rng rng(2);
+  const auto m = LatencyModel::Uniform(100, 200);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const SimTimeNs v = m.Sample(rng);
+    ASSERT_GE(v, 100u);
+    ASSERT_LE(v, 200u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / 20000, 150.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.MeanNs(), 150.0);
+}
+
+TEST(LatencyModel, NormalMeanAndTruncation) {
+  Rng rng(3);
+  const auto m = LatencyModel::Normal(1000, 300, 200);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const SimTimeNs v = m.Sample(rng);
+    ASSERT_GE(v, 200u);
+    sum += static_cast<double>(v);
+  }
+  // Truncation at mean - 2.67 sigma pulls the mean up only slightly.
+  EXPECT_NEAR(sum / n, 1000.0, 20.0);
+}
+
+TEST(LatencyModel, LogNormalMedianAndSkew) {
+  Rng rng(4);
+  const auto m = LatencyModel::LogNormal(17200, 0.66, 1000);
+  std::vector<SimTimeNs> samples;
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(m.Sample(rng));
+    sum += static_cast<double>(samples.back());
+  }
+  std::sort(samples.begin(), samples.end());
+  const double median = static_cast<double>(samples[n / 2]);
+  const double mean = sum / n;
+  EXPECT_NEAR(median, 17200.0, 500.0);
+  // Mean of lognormal = median * exp(sigma^2/2) ~ 1.243x the median: the
+  // "average strays far from the median" effect the paper describes.
+  EXPECT_GT(mean, median * 1.15);
+  EXPECT_NEAR(mean, m.MeanNs(), m.MeanNs() * 0.05);
+}
+
+TEST(LatencyModel, LogNormalTailIsHeavy) {
+  Rng rng(5);
+  const auto m = LatencyModel::LogNormal(10000, 0.7, 0);
+  std::vector<SimTimeNs> samples;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(m.Sample(rng));
+  }
+  std::sort(samples.begin(), samples.end());
+  const double p50 = static_cast<double>(samples[n / 2]);
+  const double p99 = static_cast<double>(samples[n * 99 / 100]);
+  // exp(2.326 * 0.7) ~ 5.1x.
+  EXPECT_GT(p99 / p50, 4.0);
+  EXPECT_LT(p99 / p50, 6.5);
+}
+
+TEST(LatencyModel, DefaultConstructedIsZero) {
+  Rng rng(6);
+  LatencyModel m;
+  EXPECT_EQ(m.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace leap

@@ -1,0 +1,172 @@
+// DoPrefetch (Algorithm 2) end-to-end behavior on the LeapPrefetcher.
+#include "src/core/leap_prefetcher.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.h"
+
+namespace leap {
+namespace {
+
+LeapParams DefaultParams() {
+  LeapParams p;
+  p.history_size = 32;
+  p.nsplit = 2;
+  p.max_prefetch_window = 8;
+  return p;
+}
+
+TEST(LeapPrefetcher, FirstAccessReadsOnlyDemandPage) {
+  LeapPrefetcher p(DefaultParams());
+  const PrefetchDecision d = p.OnMiss(100);
+  EXPECT_EQ(d.window_size, 0u);
+  EXPECT_TRUE(d.pages.empty());
+}
+
+TEST(LeapPrefetcher, SequentialStreamPrefetchesAlongTrend) {
+  LeapPrefetcher p(DefaultParams());
+  PrefetchDecision d;
+  for (Vpn a = 0; a < 20; ++a) {
+    d = p.OnMiss(a);
+    // Feed hits back as if prefetched pages were consumed.
+    for (size_t h = 0; h < d.pages.size() && h < 2; ++h) {
+      p.OnPrefetchHit();
+    }
+  }
+  ASSERT_TRUE(d.trend_found);
+  EXPECT_EQ(d.delta_used, 1);
+  ASSERT_FALSE(d.pages.empty());
+  // Candidates continue the stream: 20, 21, ...
+  EXPECT_EQ(d.pages[0], 20u);
+  if (d.pages.size() > 1) {
+    EXPECT_EQ(d.pages[1], 21u);
+  }
+}
+
+TEST(LeapPrefetcher, StrideStreamPrefetchesWithStride) {
+  LeapPrefetcher p(DefaultParams());
+  PrefetchDecision d;
+  for (Vpn a = 0; a < 300; a += 10) {
+    d = p.OnMiss(a);
+    for (size_t h = 0; h < d.pages.size() && h < 3; ++h) {
+      p.OnPrefetchHit();
+    }
+  }
+  ASSERT_TRUE(d.trend_found);
+  EXPECT_EQ(d.delta_used, 10);
+  ASSERT_GE(d.pages.size(), 2u);
+  EXPECT_EQ(d.pages[0], 300u);
+  EXPECT_EQ(d.pages[1], 310u);
+}
+
+TEST(LeapPrefetcher, WindowGrowsWithConsumption) {
+  LeapPrefetcher p(DefaultParams());
+  size_t max_window = 0;
+  for (Vpn a = 0; a < 64; ++a) {
+    const PrefetchDecision d = p.OnMiss(a);
+    max_window = std::max(max_window, d.window_size);
+    for (size_t h = 0; h < d.pages.size(); ++h) {
+      p.OnPrefetchHit();  // everything prefetched gets used
+    }
+  }
+  EXPECT_EQ(max_window, DefaultParams().max_prefetch_window);
+}
+
+TEST(LeapPrefetcher, RandomAccessesEventuallySuspendPrefetching) {
+  LeapPrefetcher p(DefaultParams());
+  Rng rng(7);
+  PrefetchDecision d;
+  // No hits ever reported: the window must decay to 0.
+  for (int i = 0; i < 100; ++i) {
+    d = p.OnMiss(rng.NextU64(1 << 22));
+  }
+  EXPECT_EQ(d.window_size, 0u);
+  EXPECT_TRUE(d.pages.empty());
+}
+
+TEST(LeapPrefetcher, SpeculativePrefetchUsesStaleTrendDuringGap) {
+  LeapPrefetcher p(DefaultParams());
+  // Establish a +1 trend with consumption.
+  PrefetchDecision d;
+  for (Vpn a = 0; a < 16; ++a) {
+    d = p.OnMiss(a);
+    for (size_t h = 0; h < d.pages.size(); ++h) {
+      p.OnPrefetchHit();
+    }
+  }
+  // Inject alternating noise that destroys the majority but keeps the
+  // window non-zero (hits still flowing).
+  Vpn base = 100000;
+  d = p.OnMiss(base);
+  p.OnPrefetchHit();
+  d = p.OnMiss(base + 5000);
+  // The history has no majority now; with window > 0 the prefetcher must
+  // speculate with the last known trend (+1) rather than give up.
+  if (!d.trend_found && d.window_size > 0) {
+    EXPECT_TRUE(d.speculative);
+    EXPECT_EQ(d.delta_used, 1);
+    ASSERT_FALSE(d.pages.empty());
+    EXPECT_EQ(d.pages[0], base + 5000 + 1);
+  }
+}
+
+TEST(LeapPrefetcher, CandidatesNeverUnderflowAddressSpace) {
+  LeapPrefetcher p(DefaultParams());
+  PrefetchDecision d;
+  // Descending stream near zero.
+  for (int a = 20; a >= 0; a -= 2) {
+    d = p.OnMiss(static_cast<SwapSlot>(a));
+    for (size_t h = 0; h < d.pages.size(); ++h) {
+      p.OnPrefetchHit();
+    }
+  }
+  for (SwapSlot page : d.pages) {
+    EXPECT_LT(page, 1u << 20);  // no wrapped-around huge offsets
+  }
+}
+
+TEST(LeapPrefetcher, ZeroDeltaMajorityYieldsNoCandidates) {
+  LeapPrefetcher p(DefaultParams());
+  PrefetchDecision d;
+  for (int i = 0; i < 20; ++i) {
+    d = p.OnMiss(55);  // same page over and over
+    p.OnPrefetchHit();   // keep the window open
+  }
+  EXPECT_TRUE(d.pages.empty());
+}
+
+TEST(LeapPrefetcher, WindowSizeBoundsCandidateCount) {
+  LeapPrefetcher p(DefaultParams());
+  for (Vpn a = 0; a < 200; ++a) {
+    const PrefetchDecision d = p.OnMiss(a);
+    EXPECT_LE(d.pages.size(), d.window_size);
+    for (size_t h = 0; h < d.pages.size(); ++h) {
+      p.OnPrefetchHit();
+    }
+  }
+}
+
+TEST(LeapPrefetcher, TrendShiftAdaptsWithinWindow) {
+  // Mirrors Figure 5: a -3 trend flips to +2; the prefetcher must follow.
+  LeapPrefetcher p(DefaultParams());
+  PrefetchDecision d;
+  for (int i = 0; i < 12; ++i) {
+    d = p.OnMiss(static_cast<SwapSlot>(2000 - 3 * i));
+    for (size_t h = 0; h < d.pages.size(); ++h) {
+      p.OnPrefetchHit();
+    }
+  }
+  ASSERT_TRUE(d.trend_found);
+  EXPECT_EQ(d.delta_used, -3);
+  for (int i = 0; i < 40; ++i) {
+    d = p.OnMiss(static_cast<SwapSlot>(100 + 2 * i));
+    for (size_t h = 0; h < d.pages.size(); ++h) {
+      p.OnPrefetchHit();
+    }
+  }
+  ASSERT_TRUE(d.trend_found);
+  EXPECT_EQ(d.delta_used, 2);
+}
+
+}  // namespace
+}  // namespace leap

@@ -1,0 +1,257 @@
+// Machine-level paging pipeline: fault lifecycle, cgroup reclaim, cache
+// hits/misses, eager vs lazy eviction, prefetch-cache caps, VFS mode.
+#include "src/runtime/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/presets.h"
+
+namespace leap {
+namespace {
+
+MachineConfig SmallLeapConfig() {
+  MachineConfig config = LeapVmmConfig(/*total_frames=*/4096, /*seed=*/11);
+  return config;
+}
+
+MachineConfig SmallDefaultConfig() {
+  return DefaultVmmConfig(PrefetchKind::kReadAhead, 4096, 11);
+}
+
+TEST(Machine, FirstTouchIsMinorFault) {
+  Machine machine(SmallLeapConfig());
+  const Pid pid = machine.CreateProcess(0);
+  const AccessResult r = machine.Access(pid, 42, false, 1000);
+  EXPECT_EQ(r.type, AccessType::kMinorFault);
+  EXPECT_GT(r.latency, 0u);
+  EXPECT_TRUE(machine.IsResident(pid, 42));
+}
+
+TEST(Machine, SecondTouchIsLocalHit) {
+  Machine machine(SmallLeapConfig());
+  const Pid pid = machine.CreateProcess(0);
+  machine.Access(pid, 42, false, 1000);
+  const AccessResult r = machine.Access(pid, 42, false, 2000);
+  EXPECT_EQ(r.type, AccessType::kLocalHit);
+  EXPECT_EQ(r.latency, machine.config().local_access_ns);
+}
+
+TEST(Machine, CgroupLimitForcesEviction) {
+  Machine machine(SmallLeapConfig());
+  const Pid pid = machine.CreateProcess(/*cgroup_limit_pages=*/16);
+  SimTimeNs now = 0;
+  for (Vpn v = 0; v < 32; ++v) {
+    now += 10000;
+    machine.Access(pid, v, true, now);
+  }
+  EXPECT_LE(machine.resident_pages(pid), 16u);
+  EXPECT_GT(machine.counters().Get(counter::kEvictions), 0u);
+  // Dirty pages were written back on their way out.
+  EXPECT_GT(machine.counters().Get(counter::kWritebacks), 0u);
+}
+
+TEST(Machine, EvictedPageFaultsBackAsMajorFault) {
+  Machine machine(SmallLeapConfig());
+  const Pid pid = machine.CreateProcess(8);
+  SimTimeNs now = 0;
+  for (Vpn v = 0; v < 16; ++v) {
+    now += 100000;
+    machine.Access(pid, v, true, now);
+  }
+  // Page 0 must have been evicted; touching it again is a remote access.
+  ASSERT_FALSE(machine.IsResident(pid, 0));
+  now += 100000;
+  const AccessResult r = machine.Access(pid, 0, false, now);
+  EXPECT_TRUE(r.type == AccessType::kMiss || r.type == AccessType::kCacheHit ||
+              r.type == AccessType::kCacheWaitHit);
+  EXPECT_TRUE(machine.IsResident(pid, 0));
+  EXPECT_GT(machine.counters().Get(counter::kDemandReads) +
+                machine.counters().Get(counter::kCacheHits),
+            0u);
+}
+
+TEST(Machine, SequentialFaultsGetPrefetchHits) {
+  Machine machine(SmallLeapConfig());
+  const Pid pid = machine.CreateProcess(64);
+  SimTimeNs now = 0;
+  // Populate 512 pages (evicting along the way), then sweep again:
+  // the second sweep faults sequentially through swap.
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (Vpn v = 0; v < 512; ++v) {
+      now += 20000;
+      machine.Access(pid, v, sweep == 0, now);
+    }
+  }
+  EXPECT_GT(machine.counters().Get(counter::kPrefetchHits), 100u);
+  const double coverage = machine.counters().Ratio(
+      counter::kPrefetchHits, counter::kCacheMisses);
+  EXPECT_GT(coverage, 0.3);
+}
+
+TEST(Machine, EagerEvictionKeepsCacheEmptyOfConsumedEntries) {
+  Machine machine(SmallLeapConfig());
+  const Pid pid = machine.CreateProcess(64);
+  SimTimeNs now = 0;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (Vpn v = 0; v < 512; ++v) {
+      now += 20000;
+      machine.Access(pid, v, sweep == 0, now);
+    }
+  }
+  EXPECT_EQ(machine.stale_entries(), 0u);
+  EXPECT_GT(machine.counters().Get(counter::kEagerFrees), 0u);
+}
+
+TEST(Machine, LazyEvictionAccumulatesStaleEntriesUntilKswapd) {
+  MachineConfig config = SmallDefaultConfig();
+  // Slow kswapd so staleness is visible.
+  config.kswapd_period_ns = 50 * kNsPerMs;
+  Machine machine(config);
+  const Pid pid = machine.CreateProcess(64);
+  SimTimeNs now = 0;
+  size_t max_stale = 0;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (Vpn v = 0; v < 512; ++v) {
+      now += 20000;
+      machine.Access(pid, v, sweep == 0, now);
+      max_stale = std::max(max_stale, machine.stale_entries());
+    }
+  }
+  EXPECT_GT(max_stale, 10u);
+  // kswapd retires stale entries and records their eviction wait.
+  machine.Access(pid, 0, false, now + kNsPerSec);
+  EXPECT_GT(machine.eviction_wait_hist().count(), 0u);
+}
+
+TEST(Machine, EagerAllocationIsCheaperThanLazy) {
+  auto run = [](MachineConfig config) {
+    config.kswapd_period_ns = 10 * kNsPerMs;
+    Machine machine(config);
+    const Pid pid = machine.CreateProcess(64);
+    SimTimeNs now = 0;
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      for (Vpn v = 0; v < 512; ++v) {
+        now += 20000;
+        machine.Access(pid, v, sweep == 0, now);
+      }
+    }
+    return machine.alloc_hist().Mean();
+  };
+  const double lazy_mean = run(SmallDefaultConfig());
+  const double eager_mean = run(SmallLeapConfig());
+  EXPECT_LT(eager_mean, lazy_mean);
+}
+
+TEST(Machine, PrefetchCacheLimitEnforced) {
+  MachineConfig config = SmallLeapConfig();
+  config.prefetch_cache_limit_pages = 8;
+  Machine machine(config);
+  const Pid pid = machine.CreateProcess(64);
+  SimTimeNs now = 0;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (Vpn v = 0; v < 512; ++v) {
+      now += 20000;
+      machine.Access(pid, v, sweep == 0, now);
+      EXPECT_LE(machine.cache_size(), 24u);  // limit + in-flight slack
+    }
+  }
+}
+
+TEST(Machine, GlobalPressureReclaimsViaDirectReclaim) {
+  MachineConfig config = SmallLeapConfig();
+  config.total_frames = 128;  // tiny DRAM
+  Machine machine(config);
+  const Pid pid = machine.CreateProcess(0);  // no cgroup limit
+  SimTimeNs now = 0;
+  for (Vpn v = 0; v < 512; ++v) {
+    now += 50000;
+    machine.Access(pid, v, true, now);
+  }
+  // The machine survives and keeps the resident set within DRAM.
+  EXPECT_LE(machine.resident_pages(pid), 128u);
+  EXPECT_GT(machine.counters().Get(counter::kEvictions), 0u);
+}
+
+TEST(Machine, RemoteReadsCountedOnRemoteMedium) {
+  Machine machine(SmallLeapConfig());
+  const Pid pid = machine.CreateProcess(8);
+  SimTimeNs now = 0;
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (Vpn v = 0; v < 64; ++v) {
+      now += 50000;
+      machine.Access(pid, v, true, now);
+    }
+  }
+  EXPECT_GT(machine.counters().Get(counter::kRemoteReads), 0u);
+  EXPECT_GT(machine.counters().Get(counter::kRemoteWrites), 0u);
+  ASSERT_NE(machine.host_agent(), nullptr);
+  EXPECT_GT(machine.host_agent()->nic().ops_issued(), 0u);
+}
+
+TEST(Machine, DiskMachineHasNoHostAgent) {
+  MachineConfig config = DiskSwapConfig(Medium::kHdd, PrefetchKind::kReadAhead,
+                                        4096, 1);
+  Machine machine(config);
+  EXPECT_EQ(machine.host_agent(), nullptr);
+}
+
+TEST(Machine, TimelinessRecordedOnPrefetchHits) {
+  Machine machine(SmallLeapConfig());
+  const Pid pid = machine.CreateProcess(64);
+  SimTimeNs now = 0;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (Vpn v = 0; v < 512; ++v) {
+      now += 20000;
+      machine.Access(pid, v, sweep == 0, now);
+    }
+  }
+  EXPECT_GT(machine.timeliness_hist().count(), 0u);
+}
+
+// --- VFS mode ----------------------------------------------------------------
+
+TEST(MachineVfs, WriteThenReadHitsCache) {
+  MachineConfig config = LeapVfsConfig(4096, 256, 5);
+  Machine machine(config);
+  const Pid pid = machine.CreateProcess(0);
+  const AccessResult w = machine.Access(pid, 10, true, 1000);
+  EXPECT_EQ(w.type, AccessType::kMinorFault);  // write-allocate
+  const AccessResult r = machine.Access(pid, 10, false, 5000);
+  EXPECT_EQ(r.type, AccessType::kCacheHit);
+}
+
+TEST(MachineVfs, CacheLimitEvictsAndWritesBackDirtyPages) {
+  MachineConfig config = LeapVfsConfig(4096, /*vfs_cache_pages=*/32, 5);
+  Machine machine(config);
+  const Pid pid = machine.CreateProcess(0);
+  SimTimeNs now = 0;
+  for (Vpn v = 0; v < 256; ++v) {
+    now += 20000;
+    machine.Access(pid, v, true, now);
+  }
+  EXPECT_LE(machine.cache_size(), 33u);
+  EXPECT_GT(machine.counters().Get(counter::kWritebacks), 0u);
+  // Re-reading evicted offsets misses.
+  const AccessResult r = machine.Access(pid, 0, false, now + 100000);
+  EXPECT_EQ(r.type, AccessType::kMiss);
+}
+
+TEST(MachineVfs, SequentialReadsPrefetchWell) {
+  MachineConfig config = LeapVfsConfig(8192, 1024, 5);
+  Machine machine(config);
+  const Pid pid = machine.CreateProcess(0);
+  SimTimeNs now = 0;
+  // Write 2048 file pages, then stream them back twice.
+  for (Vpn v = 0; v < 2048; ++v) {
+    now += 5000;
+    machine.Access(pid, v, true, now);
+  }
+  for (Vpn v = 0; v < 2048; ++v) {
+    now += 5000;
+    machine.Access(pid, v, false, now);
+  }
+  EXPECT_GT(machine.counters().Get(counter::kPrefetchHits), 300u);
+}
+
+}  // namespace
+}  // namespace leap

@@ -1,0 +1,150 @@
+// Boyer-Moore majority vote: unit tests plus randomized property checks
+// against a brute-force oracle.
+#include "src/core/majority.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.h"
+
+namespace leap {
+namespace {
+
+std::optional<PageDelta> BruteForceMajority(
+    const std::vector<PageDelta>& window) {
+  std::map<PageDelta, size_t> counts;
+  for (PageDelta d : window) {
+    ++counts[d];
+  }
+  for (const auto& [value, count] : counts) {
+    if (count >= window.size() / 2 + 1) {
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(BoyerMooreMajority, EmptyWindowHasNoMajority) {
+  EXPECT_FALSE(BoyerMooreMajority({}).has_value());
+}
+
+TEST(BoyerMooreMajority, SingletonIsItsOwnMajority) {
+  const std::vector<PageDelta> w = {7};
+  EXPECT_EQ(BoyerMooreMajority(w), 7);
+}
+
+TEST(BoyerMooreMajority, UnanimousWindow) {
+  const std::vector<PageDelta> w = {-3, -3, -3, -3};
+  EXPECT_EQ(BoyerMooreMajority(w), -3);
+}
+
+TEST(BoyerMooreMajority, ExactHalfIsNotMajority) {
+  const std::vector<PageDelta> w = {1, 1, 2, 2};
+  EXPECT_FALSE(BoyerMooreMajority(w).has_value());
+}
+
+TEST(BoyerMooreMajority, BareMajorityDetected) {
+  const std::vector<PageDelta> w = {1, 2, 1, 3, 1};
+  EXPECT_EQ(BoyerMooreMajority(w), 1);
+}
+
+TEST(BoyerMooreMajority, MajorityAtWindowEnd) {
+  const std::vector<PageDelta> w = {5, 9, 2, 2, 2};
+  EXPECT_EQ(BoyerMooreMajority(w), 2);
+}
+
+TEST(BoyerMooreMajority, NegativeDeltasWork) {
+  const std::vector<PageDelta> w = {-10, -10, 4, -10, -10, 6};
+  EXPECT_EQ(BoyerMooreMajority(w), -10);
+}
+
+TEST(BoyerMooreMajority, CandidateSurvivesPairingButFailsCount) {
+  // Boyer-Moore pass 1 ends with candidate 3, but it is not a majority;
+  // the verification pass must reject it.
+  const std::vector<PageDelta> w = {1, 2, 3, 4, 3};
+  EXPECT_FALSE(BoyerMooreMajority(w).has_value());
+}
+
+TEST(MajorityOfNewest, UsesOnlyTheNewestWEntries) {
+  AccessHistory h(8);
+  for (PageDelta d : {9, 9, 9, 9, 2, 2, 2}) {
+    h.Push(d);
+  }
+  // Newest 3 entries are {2, 2, 2}.
+  EXPECT_EQ(MajorityOfNewest(h, 3), 2);
+  // Across all 7 entries, 9 appears 4 times: majority.
+  EXPECT_EQ(MajorityOfNewest(h, 7), 9);
+}
+
+TEST(MajorityOfNewest, WindowLargerThanHistoryUsesAvailable) {
+  AccessHistory h(16);
+  h.Push(4);
+  h.Push(4);
+  h.Push(5);
+  EXPECT_EQ(MajorityOfNewest(h, 100), 4);
+}
+
+TEST(MajorityOfNewest, EmptyHistory) {
+  AccessHistory h(16);
+  EXPECT_FALSE(MajorityOfNewest(h, 8).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Property: Boyer-Moore agrees with brute force on random windows.
+
+class MajorityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MajorityPropertyTest, MatchesBruteForceOracle) {
+  Rng rng(GetParam() * 7919 + 13);
+  for (int trial = 0; trial < 400; ++trial) {
+    const size_t len = 1 + rng.NextU64(33);
+    // Small alphabets make majorities likely; large make them rare.
+    const int64_t alphabet = 1 + static_cast<int64_t>(rng.NextU64(5));
+    std::vector<PageDelta> window(len);
+    for (auto& d : window) {
+      d = rng.NextInt(-alphabet, alphabet);
+    }
+    EXPECT_EQ(BoyerMooreMajority(window), BruteForceMajority(window))
+        << "trial " << trial << " len " << len;
+
+    // The ring-buffer variant must agree when fed the same data.
+    AccessHistory h(len);
+    for (PageDelta d : window) {
+      h.Push(d);
+    }
+    // MajorityOfNewest iterates newest-first; majority is order-invariant.
+    EXPECT_EQ(MajorityOfNewest(h, len), BruteForceMajority(window));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MajorityPropertyTest,
+                         ::testing::Range(0, 8));
+
+// Property: any element occupying floor(w/2)+1 slots is always found.
+TEST(BoyerMooreMajority, PlantedMajorityAlwaysFound) {
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t len = 1 + rng.NextU64(40);
+    const size_t quota = len / 2 + 1;
+    const PageDelta planted = rng.NextInt(-100, 100);
+    std::vector<PageDelta> window;
+    for (size_t i = 0; i < quota; ++i) {
+      window.push_back(planted);
+    }
+    while (window.size() < len) {
+      // Filler distinct from the planted value.
+      window.push_back(planted + 1 + rng.NextInt(0, 50));
+    }
+    // Shuffle.
+    for (size_t i = window.size(); i > 1; --i) {
+      std::swap(window[i - 1], window[rng.NextU64(i)]);
+    }
+    ASSERT_EQ(BoyerMooreMajority(window), planted);
+  }
+}
+
+}  // namespace
+}  // namespace leap

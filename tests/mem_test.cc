@@ -1,0 +1,209 @@
+// Memory substrate: frame pool, page table, LRU list, page cache, cgroup.
+#include <gtest/gtest.h>
+
+#include "src/mem/cgroup.h"
+#include "src/mem/frame_pool.h"
+#include "src/mem/lru_list.h"
+#include "src/mem/page_cache.h"
+#include "src/mem/page_table.h"
+
+namespace leap {
+namespace {
+
+// --- FramePool -------------------------------------------------------------
+
+TEST(FramePool, AllocatesUpToCapacity) {
+  FramePool pool(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(pool.Allocate().has_value());
+  }
+  EXPECT_FALSE(pool.Allocate().has_value());
+  EXPECT_EQ(pool.used_count(), 4u);
+}
+
+TEST(FramePool, FreeMakesFrameReusable) {
+  FramePool pool(2);
+  const Pfn a = *pool.Allocate();
+  pool.Allocate();
+  EXPECT_FALSE(pool.Allocate().has_value());
+  pool.Free(a);
+  EXPECT_EQ(pool.free_count(), 1u);
+  EXPECT_TRUE(pool.Allocate().has_value());
+}
+
+TEST(FramePool, DoubleFreeIgnored) {
+  FramePool pool(2);
+  const Pfn a = *pool.Allocate();
+  pool.Free(a);
+  pool.Free(a);  // must not corrupt the free list
+  EXPECT_EQ(pool.free_count(), 2u);
+  EXPECT_TRUE(pool.Allocate().has_value());
+  EXPECT_TRUE(pool.Allocate().has_value());
+  EXPECT_FALSE(pool.Allocate().has_value());
+}
+
+TEST(FramePool, IsAllocatedTracksState) {
+  FramePool pool(3);
+  const Pfn a = *pool.Allocate();
+  EXPECT_TRUE(pool.IsAllocated(a));
+  pool.Free(a);
+  EXPECT_FALSE(pool.IsAllocated(a));
+  EXPECT_FALSE(pool.IsAllocated(999));
+}
+
+// --- PageTable ---------------------------------------------------------------
+
+TEST(PageTable, MapFindUnmap) {
+  PageTable table;
+  EXPECT_FALSE(table.IsPresent(10));
+  table.Map(10, 3);
+  ASSERT_TRUE(table.IsPresent(10));
+  EXPECT_EQ(table.Find(10)->pfn, 3u);
+  const auto removed = table.Unmap(10);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->pfn, 3u);
+  EXPECT_FALSE(table.IsPresent(10));
+}
+
+TEST(PageTable, UnmapMissingReturnsNullopt) {
+  PageTable table;
+  EXPECT_FALSE(table.Unmap(5).has_value());
+}
+
+TEST(PageTable, DirtyBitRoundTrips) {
+  PageTable table;
+  table.Map(1, 1);
+  table.Find(1)->dirty = true;
+  EXPECT_TRUE(table.Find(1)->dirty);
+  table.Map(1, 2);  // remap resets
+  EXPECT_FALSE(table.Find(1)->dirty);
+}
+
+TEST(PageTable, ResidentCount) {
+  PageTable table;
+  for (Vpn v = 0; v < 10; ++v) {
+    table.Map(v, static_cast<Pfn>(v));
+  }
+  EXPECT_EQ(table.resident_pages(), 10u);
+  table.Unmap(3);
+  EXPECT_EQ(table.resident_pages(), 9u);
+}
+
+// --- LruList ---------------------------------------------------------------
+
+TEST(LruList, ColdestIsLeastRecentlyTouched) {
+  LruList<int> lru;
+  lru.Touch(1);
+  lru.Touch(2);
+  lru.Touch(3);
+  EXPECT_EQ(lru.Coldest(), 1);
+  lru.Touch(1);  // re-touch warms it
+  EXPECT_EQ(lru.Coldest(), 2);
+}
+
+TEST(LruList, PopColdestRemoves) {
+  LruList<int> lru;
+  lru.Touch(1);
+  lru.Touch(2);
+  EXPECT_EQ(lru.PopColdest(), 1);
+  EXPECT_EQ(lru.PopColdest(), 2);
+  EXPECT_FALSE(lru.PopColdest().has_value());
+}
+
+TEST(LruList, RemoveSpecificKey) {
+  LruList<int> lru;
+  lru.Touch(1);
+  lru.Touch(2);
+  lru.Touch(3);
+  EXPECT_TRUE(lru.Remove(2));
+  EXPECT_FALSE(lru.Remove(2));
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_FALSE(lru.Contains(2));
+}
+
+TEST(LruList, ColdestNOrder) {
+  LruList<int> lru;
+  for (int i = 0; i < 5; ++i) {
+    lru.Touch(i);
+  }
+  const auto coldest = lru.ColdestN(3);
+  EXPECT_EQ(coldest, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(lru.size(), 5u);  // non-destructive
+}
+
+TEST(LruList, PidVpnKeysWork) {
+  LruList<PidVpn, PidVpnHash> lru;
+  lru.Touch({1, 100});
+  lru.Touch({2, 100});
+  EXPECT_TRUE(lru.Contains(PidVpn{1, 100}));
+  EXPECT_TRUE(lru.Contains(PidVpn{2, 100}));
+  EXPECT_EQ(lru.size(), 2u);
+  lru.Remove({1, 100});
+  EXPECT_FALSE(lru.Contains(PidVpn{1, 100}));
+}
+
+// --- PageCache ---------------------------------------------------------------
+
+TEST(PageCache, InsertLookupRemove) {
+  PageCache cache;
+  CacheEntry entry;
+  entry.pfn = 7;
+  entry.ready_at = 1234;
+  EXPECT_TRUE(cache.Insert(100, entry));
+  EXPECT_FALSE(cache.Insert(100, entry));  // duplicate
+  ASSERT_NE(cache.Lookup(100), nullptr);
+  EXPECT_EQ(cache.Lookup(100)->pfn, 7u);
+  const auto removed = cache.Remove(100);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->pfn, 7u);
+  EXPECT_EQ(cache.Lookup(100), nullptr);
+}
+
+TEST(PageCache, LruEvictionOrder) {
+  PageCache cache;
+  for (SwapSlot s = 0; s < 4; ++s) {
+    cache.Insert(s, CacheEntry{});
+  }
+  cache.TouchLru(0);  // 0 becomes hottest
+  EXPECT_EQ(cache.ColdestSlot(), 1u);
+}
+
+TEST(PageCache, ForEachVisitsAll) {
+  PageCache cache;
+  for (SwapSlot s = 0; s < 10; ++s) {
+    cache.Insert(s, CacheEntry{});
+  }
+  size_t visited = 0;
+  cache.ForEach([&](SwapSlot, const CacheEntry&) { ++visited; });
+  EXPECT_EQ(visited, 10u);
+}
+
+// --- Cgroup ------------------------------------------------------------------
+
+TEST(Cgroup, UnlimitedNeverOverLimit) {
+  Cgroup cg(0);
+  cg.Charge(1000000);
+  EXPECT_FALSE(cg.OverLimit());
+  EXPECT_EQ(cg.ExcessPages(), 0u);
+}
+
+TEST(Cgroup, OverLimitAndExcess) {
+  Cgroup cg(10);
+  cg.Charge(10);
+  EXPECT_FALSE(cg.OverLimit());
+  cg.Charge();
+  EXPECT_TRUE(cg.OverLimit());
+  EXPECT_EQ(cg.ExcessPages(), 1u);
+  cg.Uncharge();
+  EXPECT_FALSE(cg.OverLimit());
+}
+
+TEST(Cgroup, UnchargeClampsAtZero) {
+  Cgroup cg(5);
+  cg.Charge(2);
+  cg.Uncharge(10);
+  EXPECT_EQ(cg.resident_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace leap

@@ -1,0 +1,156 @@
+// Algorithm 2 (GetPrefetchWindowSize) behaviors.
+#include "src/core/prefetch_window.h"
+
+#include <gtest/gtest.h>
+
+namespace leap {
+namespace {
+
+TEST(RoundUpPow2, Values) {
+  EXPECT_EQ(RoundUpPow2(0), 0u);
+  EXPECT_EQ(RoundUpPow2(1), 1u);
+  EXPECT_EQ(RoundUpPow2(2), 2u);
+  EXPECT_EQ(RoundUpPow2(3), 4u);
+  EXPECT_EQ(RoundUpPow2(4), 4u);
+  EXPECT_EQ(RoundUpPow2(5), 8u);
+  EXPECT_EQ(RoundUpPow2(9), 16u);
+}
+
+TEST(PrefetchWindow, StartsSuspendedWithoutTrendOrHits) {
+  PrefetchWindow w(8);
+  EXPECT_EQ(w.ComputeSize(/*follows_trend=*/false), 0u);
+}
+
+TEST(PrefetchWindow, ProbesOnePageWhenFaultFollowsTrend) {
+  PrefetchWindow w(8);
+  EXPECT_EQ(w.ComputeSize(/*follows_trend=*/true), 1u);
+}
+
+TEST(PrefetchWindow, GrowsToPow2OfHitsPlusOne) {
+  PrefetchWindow w(8);
+  w.OnPrefetchHit();  // Chit = 1
+  EXPECT_EQ(w.ComputeSize(false), 2u);  // round_up(1+1) = 2
+  w.OnPrefetchHit();
+  w.OnPrefetchHit();  // Chit = 2
+  EXPECT_EQ(w.ComputeSize(false), 4u);  // round_up(3) = 4
+}
+
+TEST(PrefetchWindow, CappedAtMaxWindow) {
+  PrefetchWindow w(8);
+  for (int i = 0; i < 40; ++i) {
+    w.OnPrefetchHit();
+  }
+  EXPECT_EQ(w.ComputeSize(false), 8u);
+}
+
+TEST(PrefetchWindow, ChitResetsAfterEachDecision) {
+  PrefetchWindow w(8);
+  w.OnPrefetchHit();
+  EXPECT_EQ(w.hits_since_last(), 1u);
+  w.ComputeSize(false);
+  EXPECT_EQ(w.hits_since_last(), 0u);
+}
+
+TEST(PrefetchWindow, SmoothShrinkHalvesInsteadOfSuspending) {
+  PrefetchWindow w(8);
+  for (int i = 0; i < 10; ++i) {
+    w.OnPrefetchHit();
+  }
+  ASSERT_EQ(w.ComputeSize(false), 8u);
+  // Drastic drop: zero hits, fault breaks trend. Window halves (8 -> 4),
+  // not suspend.
+  EXPECT_EQ(w.ComputeSize(false), 4u);
+  EXPECT_EQ(w.ComputeSize(false), 2u);
+  EXPECT_EQ(w.ComputeSize(false), 1u);
+  // From 1, half rounds to 0: suspended.
+  EXPECT_EQ(w.ComputeSize(false), 0u);
+  EXPECT_EQ(w.ComputeSize(false), 0u);
+}
+
+TEST(PrefetchWindow, SuspensionLiftsWhenTrendReturns) {
+  PrefetchWindow w(8);
+  ASSERT_EQ(w.ComputeSize(false), 0u);
+  EXPECT_EQ(w.ComputeSize(true), 1u);
+}
+
+TEST(PrefetchWindow, HitsTrumpTrendBreak) {
+  PrefetchWindow w(8);
+  w.OnPrefetchHit();
+  w.OnPrefetchHit();
+  w.OnPrefetchHit();
+  // Even though the fault breaks the trend, recent hits grow the window.
+  EXPECT_EQ(w.ComputeSize(false), 4u);
+}
+
+TEST(PrefetchWindow, NeverShrinksBelowHalfPrevious) {
+  PrefetchWindow w(32);
+  for (int i = 0; i < 64; ++i) {
+    w.OnPrefetchHit();
+  }
+  size_t prev = w.ComputeSize(false);
+  EXPECT_EQ(prev, 32u);
+  // Starve it and check the halving invariant at every step.
+  while (prev > 0) {
+    const size_t next = w.ComputeSize(false);
+    EXPECT_GE(next, prev / 2);
+    EXPECT_LT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(PrefetchWindow, GrowthAfterPartialHitsIsGradual) {
+  PrefetchWindow w(8);
+  for (int i = 0; i < 10; ++i) {
+    w.OnPrefetchHit();
+  }
+  ASSERT_EQ(w.ComputeSize(false), 8u);
+  // One hit between decisions: round_up(2) = 2, but smooth shrink keeps 4.
+  w.OnPrefetchHit();
+  EXPECT_EQ(w.ComputeSize(false), 4u);
+}
+
+TEST(PrefetchWindow, MaxWindowOfOneBehaves) {
+  PrefetchWindow w(1);
+  w.OnPrefetchHit();
+  EXPECT_EQ(w.ComputeSize(false), 1u);
+  EXPECT_EQ(w.ComputeSize(true), 1u);
+  EXPECT_EQ(w.ComputeSize(false), 0u);
+}
+
+TEST(PrefetchWindow, ResetClearsState) {
+  PrefetchWindow w(8);
+  for (int i = 0; i < 10; ++i) {
+    w.OnPrefetchHit();
+  }
+  w.ComputeSize(false);
+  w.Reset();
+  EXPECT_EQ(w.last_size(), 0u);
+  EXPECT_EQ(w.hits_since_last(), 0u);
+  EXPECT_EQ(w.ComputeSize(false), 0u);
+}
+
+// Invariant sweep: the window never exceeds max under arbitrary hit/trend
+// sequences.
+class WindowInvariantTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WindowInvariantTest, NeverExceedsMax) {
+  const size_t max = GetParam();
+  PrefetchWindow w(max);
+  uint64_t state = max * 2654435761u + 17;
+  for (int step = 0; step < 2000; ++step) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int hits = static_cast<int>(state >> 60) & 0xF;
+    for (int h = 0; h < hits; ++h) {
+      w.OnPrefetchHit();
+    }
+    const size_t size = w.ComputeSize((state >> 32 & 1) != 0);
+    EXPECT_LE(size, std::max(max, w.last_size()));
+    EXPECT_LE(size, max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxSizes, WindowInvariantTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace leap

@@ -1,0 +1,68 @@
+// The calibrated machine presets must keep the relationships the paper's
+// configuration table implies.
+#include "src/runtime/presets.h"
+
+#include <gtest/gtest.h>
+
+namespace leap {
+namespace {
+
+TEST(Presets, DiskSwapHasNoDisaggregationFloor) {
+  const MachineConfig config =
+      DiskSwapConfig(Medium::kHdd, PrefetchKind::kReadAhead, 1024, 1);
+  EXPECT_EQ(config.medium, Medium::kHdd);
+  EXPECT_EQ(config.path, PathKind::kDefault);
+  // Plain swap-cache hit, not the ~1us framework floor.
+  EXPECT_LT(config.default_path.hit_cost_ns, 500u);
+}
+
+TEST(Presets, DefaultVmmHasTheOneMicrosecondFloor) {
+  const MachineConfig config =
+      DefaultVmmConfig(PrefetchKind::kReadAhead, 1024, 1);
+  EXPECT_EQ(config.medium, Medium::kRemote);
+  EXPECT_GT(config.default_path.hit_cost_ns, 900u);
+  EXPECT_LT(config.default_path.hit_cost_ns, 1300u);
+  EXPECT_EQ(config.eviction, EvictionKind::kLazyLru);
+}
+
+TEST(Presets, LeapVmmEnablesAllThreeComponents) {
+  const MachineConfig config = LeapVmmConfig(1024, 1);
+  EXPECT_EQ(config.path, PathKind::kLeap);
+  EXPECT_EQ(config.prefetcher, PrefetchKind::kLeap);
+  EXPECT_EQ(config.eviction, EvictionKind::kEagerLeap);
+  EXPECT_EQ(config.leap_path.hit_cost_ns, 270u);
+}
+
+TEST(Presets, VfsConfigsSetVfsModeAndLighterStack) {
+  const MachineConfig vfs =
+      DefaultVfsConfig(PrefetchKind::kReadAhead, 1024, 256, 1);
+  EXPECT_TRUE(vfs.vfs_mode);
+  EXPECT_EQ(vfs.vfs_cache_limit_pages, 256u);
+  // Remote Regions' stack is markedly lighter than the block-layer VMM
+  // path (Figure 2).
+  const MachineConfig vmm = DefaultVmmConfig(PrefetchKind::kReadAhead, 1024, 1);
+  EXPECT_LT(vfs.default_path.block.queue_median_ns,
+            vmm.default_path.block.queue_median_ns);
+  EXPECT_LT(vfs.default_path.hit_cost_ns, vmm.default_path.hit_cost_ns);
+
+  const MachineConfig leap_vfs = LeapVfsConfig(1024, 256, 1);
+  EXPECT_TRUE(leap_vfs.vfs_mode);
+  EXPECT_EQ(leap_vfs.prefetcher, PrefetchKind::kLeap);
+}
+
+TEST(Presets, PaperDefaultsForLeapParams) {
+  const MachineConfig config = LeapVmmConfig(1024, 1);
+  EXPECT_EQ(config.leap.history_size, 32u);
+  EXPECT_EQ(config.leap.nsplit, 2u);
+  EXPECT_EQ(config.leap.max_prefetch_window, 8u);
+}
+
+TEST(Presets, SeedPropagates) {
+  const MachineConfig a = LeapVmmConfig(1024, 42);
+  const MachineConfig b = LeapVmmConfig(1024, 43);
+  EXPECT_EQ(a.seed, 42u);
+  EXPECT_EQ(b.seed, 43u);
+}
+
+}  // namespace
+}  // namespace leap

@@ -1,0 +1,136 @@
+// Resilience and load-balancing behaviors of the remote-memory substrate
+// (paper section 4.5): replication-based fault tolerance and
+// power-of-two-choices placement, exercised through the full machine.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/rdma/host_agent.h"
+#include "src/rdma/remote_agent.h"
+#include "src/runtime/app_runner.h"
+#include "src/runtime/presets.h"
+#include "src/workload/patterns.h"
+
+namespace leap {
+namespace {
+
+TEST(Resilience, WritesSurvivePrimaryFailure) {
+  RemoteAgent node_a(0, 256);
+  RemoteAgent node_b(1, 256);
+  HostAgentConfig config;
+  config.replicas = 2;
+  config.slab_pages = 64;
+  HostAgent agent(config, {&node_a, &node_b}, 11);
+  Rng rng(11);
+
+  // Write tags across several slabs.
+  for (SwapSlot slot = 0; slot < 512; slot += 7) {
+    agent.WriteTag(slot, slot * 31 + 5, 0, rng);
+  }
+  // Fail either node; every tag must still be readable via its replica.
+  node_a.Fail();
+  for (SwapSlot slot = 0; slot < 512; slot += 7) {
+    ASSERT_EQ(agent.ReadTag(slot), slot * 31 + 5) << "slot " << slot;
+  }
+  node_a.Recover();
+  node_b.Fail();
+  for (SwapSlot slot = 0; slot < 512; slot += 7) {
+    ASSERT_EQ(agent.ReadTag(slot), slot * 31 + 5) << "slot " << slot;
+  }
+}
+
+TEST(Resilience, SingleReplicaLosesDataOnFailure) {
+  // Control: with replication disabled, a node failure loses pages -
+  // demonstrating that the default replication actually does the work.
+  RemoteAgent node_a(0, 256);
+  RemoteAgent node_b(1, 256);
+  HostAgentConfig config;
+  config.replicas = 1;
+  config.slab_pages = 64;
+  HostAgent agent(config, {&node_a, &node_b}, 13);
+  Rng rng(13);
+  for (SwapSlot slot = 0; slot < 256; slot += 5) {
+    agent.WriteTag(slot, slot + 1, 0, rng);
+  }
+  node_a.Fail();
+  node_b.Fail();
+  size_t lost = 0;
+  for (SwapSlot slot = 0; slot < 256; slot += 5) {
+    if (!agent.ReadTag(slot).has_value()) {
+      ++lost;
+    }
+  }
+  EXPECT_GT(lost, 0u);
+}
+
+TEST(Resilience, PlacementSpreadsLoadAcrossManyNodes) {
+  std::vector<std::unique_ptr<RemoteAgent>> nodes;
+  std::vector<RemoteAgent*> refs;
+  for (uint32_t i = 0; i < 8; ++i) {
+    nodes.push_back(std::make_unique<RemoteAgent>(i, 512));
+    refs.push_back(nodes.back().get());
+  }
+  HostAgentConfig config;
+  config.replicas = 2;
+  config.slab_pages = 8;
+  HostAgent agent(config, refs, 17);
+  Rng rng(17);
+  for (SwapSlot slab = 0; slab < 400; ++slab) {
+    const SwapSlot slot = slab * 8;
+    SimTimeNs ready = 0;
+    agent.ReadPages({&slot, 1}, 0, rng, {&ready, 1});
+  }
+  const auto loads = agent.NodeLoads();
+  const size_t total = std::accumulate(loads.begin(), loads.end(), 0u);
+  EXPECT_EQ(total, 800u);  // 400 slabs x 2 replicas
+  const size_t min_load = *std::min_element(loads.begin(), loads.end());
+  const size_t max_load = *std::max_element(loads.begin(), loads.end());
+  // Two-choices: spread stays tight around the mean of 100.
+  EXPECT_LE(max_load - min_load, 30u);
+}
+
+TEST(Resilience, MachineKeepsRunningWhenPoolNearlyFull) {
+  // Remote pool with barely enough slabs: the machine must keep making
+  // progress (fallback placement) instead of wedging.
+  MachineConfig config = LeapVmmConfig(2048, 19);
+  config.remote_nodes = 2;
+  config.node_capacity_slabs = 2;
+  config.host_agent.slab_pages = 512;
+  config.host_agent.replicas = 2;
+  Machine machine(config);
+  const Pid pid = machine.CreateProcess(256);
+  SequentialStream stream(2048, 500);
+  RunConfig run;
+  run.total_accesses = 20000;
+  const RunResult result = RunApp(machine, pid, stream, run);
+  EXPECT_TRUE(result.finished);
+  EXPECT_GT(machine.counters().Get(counter::kRemoteReads), 0u);
+}
+
+TEST(Resilience, ConcurrentProcessesShareTheFabricFairly) {
+  // Two identical sequential processes: neither should starve (completion
+  // times within 2x of each other).
+  MachineConfig config = LeapVmmConfig(1 << 14, 23);
+  Machine machine(config);
+  const Pid a = machine.CreateProcess(1024);
+  const Pid b = machine.CreateProcess(1024);
+  SequentialStream stream_a(4096, 500);
+  SequentialStream stream_b(4096, 500);
+  // Interleave warmups so both sets of pages get evicted.
+  SimTimeNs t = WarmUp(machine, a, 4096);
+  t = WarmUp(machine, b, 4096, t);
+  RunConfig run;
+  run.total_accesses = 40000;
+  run.start_time_ns = t + kNsPerMs;
+  std::vector<MultiAppSpec> specs = {{a, &stream_a, run}, {b, &stream_b, run}};
+  const auto results = RunAppsConcurrently(machine, std::move(specs));
+  ASSERT_TRUE(results[0].finished);
+  ASSERT_TRUE(results[1].finished);
+  const double ratio = ToSec(results[0].completion_ns) /
+                       ToSec(results[1].completion_ns);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+}  // namespace
+}  // namespace leap

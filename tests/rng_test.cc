@@ -1,0 +1,119 @@
+#include "src/sim/rng.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace leap {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedValuesStayInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextU64(17), 17u);
+  }
+  EXPECT_EQ(rng.NextU64(0), 0u);
+  EXPECT_EQ(rng.NextU64(1), 0u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 50000, 0.5, 0.01);
+}
+
+TEST(Rng, BoolProbabilityRoughlyHonored) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 50000; ++i) {
+    heads += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 50000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  std::set<uint64_t> parent_vals;
+  for (int i = 0; i < 100; ++i) {
+    parent_vals.insert(parent.NextU64());
+  }
+  int collisions = 0;
+  for (int i = 0; i < 100; ++i) {
+    collisions += parent_vals.count(child.NextU64());
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, UniformCoverageAcrossBuckets) {
+  Rng rng(23);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[rng.NextU64(10)];
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 100);
+  }
+}
+
+}  // namespace
+}  // namespace leap

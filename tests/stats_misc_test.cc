@@ -1,0 +1,91 @@
+// TextTable, CDF rendering, and Counters.
+#include <gtest/gtest.h>
+
+#include "src/stats/cdf.h"
+#include "src/stats/counters.h"
+#include "src/stats/table.h"
+
+namespace leap {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsColumnsToWidestCell) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"longvalue", "x"});
+  const std::string out = t.Render();
+  // Header line must be padded to at least the row width.
+  const size_t header_end = out.find('\n');
+  const size_t row_start = out.rfind("longvalue");
+  ASSERT_NE(header_end, std::string::npos);
+  ASSERT_NE(row_start, std::string::npos);
+  EXPECT_GE(header_end, std::string("longvalue  x").size());
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  t.AddRow({"1", "2", "3", "4"});
+  EXPECT_FALSE(t.Render().empty());
+}
+
+TEST(Counters, AddAndGet) {
+  Counters c;
+  EXPECT_EQ(c.Get("x"), 0u);
+  c.Add("x");
+  c.Add("x", 4);
+  EXPECT_EQ(c.Get("x"), 5u);
+}
+
+TEST(Counters, RatioHandlesZeroDenominator) {
+  Counters c;
+  EXPECT_EQ(c.Ratio("a", "b"), 0.0);
+  c.Add("a", 3);
+  c.Add("b", 4);
+  EXPECT_DOUBLE_EQ(c.Ratio("a", "b"), 0.75);
+}
+
+TEST(Counters, ResetClears) {
+  Counters c;
+  c.Add(counter::kPageFaults, 10);
+  c.Reset();
+  EXPECT_EQ(c.Get(counter::kPageFaults), 0u);
+}
+
+TEST(CdfRendering, QuantileTableContainsSeries) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    h.Record(i * 100);
+  }
+  const std::string out =
+      RenderLatencyQuantileTable({{"my-series", &h}});
+  EXPECT_NE(out.find("my-series"), std::string::npos);
+  EXPECT_NE(out.find("p50"), std::string::npos);
+  EXPECT_NE(out.find("p99"), std::string::npos);
+}
+
+TEST(CdfRendering, CcdfFractionsDecrease) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 10000; ++i) {
+    h.Record(i);  // 1ns..10us uniform
+  }
+  const std::string out = RenderCcdfTable({{"s", &h}}, {0.001, 1.0, 5.0, 20.0});
+  // 0.001us = 1ns: ~100% above; 20us: 0% above.
+  EXPECT_NE(out.find("0.00"), std::string::npos);
+  EXPECT_NE(out.find("99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace leap

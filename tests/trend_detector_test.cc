@@ -1,0 +1,207 @@
+// Algorithm 1 (FindTrend) tests, including the paper's Figure 5 worked
+// example and the irregularity-tolerance property from section 3.2.2.
+#include "src/core/trend_detector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.h"
+
+namespace leap {
+namespace {
+
+// Drives a detector with a sequence of page addresses, pushing deltas like
+// the page access tracker does, and returns the trend after each access.
+class AddressFeeder {
+ public:
+  AddressFeeder(size_t hsize, size_t nsplit)
+      : history_(hsize), detector_(nsplit) {}
+
+  std::optional<PageDelta> Feed(Vpn addr) {
+    if (has_last_) {
+      history_.Push(static_cast<PageDelta>(addr) -
+                    static_cast<PageDelta>(last_));
+    }
+    last_ = addr;
+    has_last_ = true;
+    return detector_.FindTrend(history_);
+  }
+
+  AccessHistory& history() { return history_; }
+
+ private:
+  AccessHistory history_;
+  TrendDetector detector_;
+  Vpn last_ = 0;
+  bool has_last_ = false;
+};
+
+TEST(TrendDetector, EmptyHistoryHasNoTrend) {
+  AccessHistory h(32);
+  TrendDetector d(2);
+  EXPECT_FALSE(d.FindTrend(h).has_value());
+}
+
+TEST(TrendDetector, PureSequentialTrend) {
+  AddressFeeder feeder(32, 2);
+  std::optional<PageDelta> trend;
+  for (Vpn a = 100; a < 140; ++a) {
+    trend = feeder.Feed(a);
+  }
+  ASSERT_TRUE(trend.has_value());
+  EXPECT_EQ(*trend, 1);
+}
+
+TEST(TrendDetector, PureStrideTrend) {
+  AddressFeeder feeder(32, 2);
+  std::optional<PageDelta> trend;
+  for (Vpn a = 0; a < 400; a += 10) {
+    trend = feeder.Feed(a);
+  }
+  ASSERT_TRUE(trend.has_value());
+  EXPECT_EQ(*trend, 10);
+}
+
+TEST(TrendDetector, DescendingStrideTrend) {
+  AddressFeeder feeder(16, 2);
+  std::optional<PageDelta> trend;
+  for (Vpn a = 1000; a > 900; a -= 3) {
+    trend = feeder.Feed(a);
+  }
+  ASSERT_TRUE(trend.has_value());
+  EXPECT_EQ(*trend, -3);
+}
+
+TEST(TrendDetector, RandomAccessesHaveNoTrend) {
+  AddressFeeder feeder(32, 2);
+  Rng rng(4242);
+  std::optional<PageDelta> trend;
+  for (int i = 0; i < 64; ++i) {
+    trend = feeder.Feed(rng.NextU64(1 << 20));
+  }
+  EXPECT_FALSE(trend.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// The Figure 5 walkthrough: Hsize = 8, Nsplit = 2, requests
+// 0x48 0x45 0x42 0x3F 0x3C 0x02 0x04 0x06 0x08 0x0A 0x0C 0x10 0x39 0x12
+// 0x14 0x16 at times t0..t15.
+
+class Figure5Test : public ::testing::Test {
+ protected:
+  AddressFeeder feeder_{8, 2};
+  const std::vector<Vpn> requests_ = {0x48, 0x45, 0x42, 0x3F, 0x3C, 0x02,
+                                      0x04, 0x06, 0x08, 0x0A, 0x0C, 0x10,
+                                      0x39, 0x12, 0x14, 0x16};
+
+  std::optional<PageDelta> FeedThrough(size_t t) {
+    // Figure 5 shows a +72 delta already stored at t0, i.e. the request
+    // before t0 was 0x48 - 72 = 0x00.
+    feeder_.Feed(0x00);
+    std::optional<PageDelta> trend;
+    for (size_t i = 0; i <= t; ++i) {
+      trend = feeder_.Feed(requests_[i]);
+    }
+    return trend;
+  }
+};
+
+TEST_F(Figure5Test, AtT3TrendIsMinus3) {
+  // t0-t3 window holds deltas {-3,-3,-3}; majority -3 found in the small
+  // window already.
+  const auto trend = FeedThrough(3);
+  ASSERT_TRUE(trend.has_value());
+  EXPECT_EQ(*trend, -3);
+}
+
+TEST_F(Figure5Test, AtT7NoMajorityEvenInFullWindow) {
+  // Deltas so far: -3,-3,-3,-3,-58,+2,+2. The newest 4 {+2,+2,-58,-3} have
+  // no majority; doubling to 8 sees three +2/-58 against four -3 - still
+  // no strict majority.
+  const auto trend = FeedThrough(7);
+  EXPECT_FALSE(trend.has_value());
+}
+
+TEST_F(Figure5Test, AtT8NewTrendPlus2Emerges) {
+  // t5-t8 contribute deltas {+2,+2,+2} within the newest window.
+  const auto trend = FeedThrough(8);
+  ASSERT_TRUE(trend.has_value());
+  EXPECT_EQ(*trend, 2);
+}
+
+TEST_F(Figure5Test, AtT15ShortTermVariationsIgnored) {
+  // t12 (0x39) and t13 (0x12) inject +41/-39 noise, but the t8-t15 window
+  // still holds a +2 majority.
+  const auto trend = FeedThrough(15);
+  ASSERT_TRUE(trend.has_value());
+  EXPECT_EQ(*trend, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Property (section 3.2.2): a window of size w tolerates up to
+// floor(w/2) - 1 irregularities.
+
+class IrregularityToleranceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IrregularityToleranceTest, MajoritySurvivesBoundedNoise) {
+  const size_t hsize = GetParam();
+  Rng rng(hsize * 31 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    AccessHistory history(hsize);
+    const size_t irregular = hsize / 2 - 1;
+    const size_t regular = hsize - irregular;
+    // Fill: `regular` copies of stride 4, `irregular` random other values,
+    // shuffled.
+    std::vector<PageDelta> deltas(regular, 4);
+    for (size_t i = 0; i < irregular; ++i) {
+      deltas.push_back(5 + rng.NextInt(0, 1000));
+    }
+    for (size_t i = deltas.size(); i > 1; --i) {
+      std::swap(deltas[i - 1], deltas[rng.NextU64(i)]);
+    }
+    for (PageDelta d : deltas) {
+      history.Push(d);
+    }
+    TrendDetector detector(2);
+    const auto trend = detector.FindTrend(history);
+    ASSERT_TRUE(trend.has_value()) << "hsize " << hsize;
+    EXPECT_EQ(*trend, 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, IrregularityToleranceTest,
+                         ::testing::Values(8, 16, 32, 64, 128));
+
+TEST(TrendDetector, SmallerNsplitStartsWithBiggerWindow) {
+  // With Nsplit = 1 the first window is the whole history, so a trend
+  // diluted below majority in the recent half is still found if it holds
+  // the full-window majority.
+  AccessHistory h(8);
+  for (PageDelta d : {7, 7, 7, 7, 7, 1, 2, 7}) {
+    h.Push(d);
+  }
+  EXPECT_EQ(TrendDetector(1).FindTrend(h), 7);
+  // Nsplit = 2: newest 4 = {7,2,1,7}, no majority; doubles to 8 and finds 7.
+  EXPECT_EQ(TrendDetector(2).FindTrend(h), 7);
+}
+
+TEST(TrendDetector, PartialHistorySmallerThanFirstWindow) {
+  AccessHistory h(32);
+  h.Push(6);
+  h.Push(6);
+  EXPECT_EQ(TrendDetector(2).FindTrend(h), 6);
+}
+
+TEST(TrendDetector, InterleavedStridesProduceNoMajority) {
+  // Two perfectly interleaved streams with different strides (section
+  // 3.2.2): deltas alternate a, b, a, b with a != b - no majority.
+  AccessHistory h(16);
+  for (int i = 0; i < 16; ++i) {
+    h.Push(i % 2 == 0 ? 3 : 11);
+  }
+  EXPECT_FALSE(TrendDetector(2).FindTrend(h).has_value());
+}
+
+}  // namespace
+}  // namespace leap

@@ -1,0 +1,242 @@
+// Workload generators: primitive patterns, phase mixing, app models
+// (validated against the paper's Figure 3 characterization), trace replay.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/workload/app_models.h"
+#include "src/workload/patterns.h"
+#include "src/workload/phase_mix.h"
+#include "src/workload/trace.h"
+
+namespace leap {
+namespace {
+
+// Classifies delta windows like the paper's Figure 3: a window is
+// "sequential" when all deltas are +1, "stride" when all deltas equal the
+// first (non-1) delta, else "other".
+struct PatternFractions {
+  double sequential = 0;
+  double stride = 0;
+  double other = 0;
+};
+
+PatternFractions ClassifyWindows(AccessStream& stream, size_t window,
+                                 size_t samples, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vpn> addrs;
+  addrs.reserve(samples + window);
+  for (size_t i = 0; i < samples + window; ++i) {
+    addrs.push_back(stream.Next(rng).vpn);
+  }
+  size_t seq = 0;
+  size_t stride = 0;
+  size_t other = 0;
+  for (size_t i = 0; i + window < addrs.size(); ++i) {
+    bool all_seq = true;
+    bool all_stride = true;
+    const PageDelta first = static_cast<PageDelta>(addrs[i + 1]) -
+                            static_cast<PageDelta>(addrs[i]);
+    for (size_t k = 1; k < window; ++k) {
+      const PageDelta d = static_cast<PageDelta>(addrs[i + k]) -
+                          static_cast<PageDelta>(addrs[i + k - 1]);
+      all_seq = all_seq && d == 1;
+      all_stride = all_stride && d == first;
+    }
+    if (all_seq) {
+      ++seq;
+    } else if (all_stride && first != 0) {
+      ++stride;
+    } else {
+      ++other;
+    }
+  }
+  const double total = static_cast<double>(seq + stride + other);
+  return {seq / total, stride / total, other / total};
+}
+
+TEST(SequentialStream, WrapsAroundFootprint) {
+  SequentialStream s(4);
+  Rng rng(1);
+  EXPECT_EQ(s.Next(rng).vpn, 0u);
+  EXPECT_EQ(s.Next(rng).vpn, 1u);
+  EXPECT_EQ(s.Next(rng).vpn, 2u);
+  EXPECT_EQ(s.Next(rng).vpn, 3u);
+  EXPECT_EQ(s.Next(rng).vpn, 0u);
+}
+
+TEST(StrideStream, StridesAndRotatesLane) {
+  StrideStream s(100, 10);
+  Rng rng(1);
+  EXPECT_EQ(s.Next(rng).vpn, 0u);
+  EXPECT_EQ(s.Next(rng).vpn, 10u);
+  for (int i = 0; i < 7; ++i) {
+    s.Next(rng);
+  }
+  // After covering one lane, it moves to the next residue class.
+  const Vpn next = s.Next(rng).vpn;
+  EXPECT_LT(next, 100u);
+}
+
+TEST(RandomStream, StaysInFootprint) {
+  RandomStream s(64);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(s.Next(rng).vpn, 64u);
+  }
+}
+
+TEST(PhaseMix, RespectesFootprint) {
+  PhaseMixConfig config;
+  config.footprint_pages = 128;
+  config.phases.push_back(
+      PhaseSpec{PhaseSpec::Kind::kSequential, 1.0, 8, 32, 0, 0, 0.1, 0.2});
+  config.phases.push_back(
+      PhaseSpec{PhaseSpec::Kind::kRandom, 1.0, 4, 16, 0, 0, 0.0, 0.0});
+  PhaseMixStream stream(config, 3);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(stream.Next(rng).vpn, 128u);
+  }
+}
+
+TEST(PhaseMix, OpBoundariesHonorCadence) {
+  PhaseMixConfig config;
+  config.footprint_pages = 128;
+  config.accesses_per_op = 5;
+  config.phases.push_back(
+      PhaseSpec{PhaseSpec::Kind::kRandom, 1.0, 8, 16, 0, 0, 0.0, 0.0});
+  PhaseMixStream stream(config, 4);
+  Rng rng(4);
+  int ops = 0;
+  for (int i = 0; i < 500; ++i) {
+    ops += stream.Next(rng).op_end ? 1 : 0;
+  }
+  EXPECT_EQ(ops, 100);
+}
+
+TEST(PhaseMix, ThinkTimeWithinBounds) {
+  PhaseMixConfig config;
+  config.footprint_pages = 64;
+  config.think_min_ns = 100;
+  config.think_max_ns = 200;
+  config.phases.push_back(
+      PhaseSpec{PhaseSpec::Kind::kSequential, 1.0, 8, 16, 0, 0, 0.0, 0.0});
+  PhaseMixStream stream(config, 5);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const MemOp op = stream.Next(rng);
+    EXPECT_GE(op.think_ns, 100u);
+    EXPECT_LE(op.think_ns, 200u);
+  }
+}
+
+// --- Figure 3 shape checks ---------------------------------------------------
+
+TEST(AppModels, MemcachedIsOverwhelminglyIrregular) {
+  auto stream = MakeMemcached(kMemcachedPages, 42);
+  const auto f = ClassifyWindows(*stream, 8, 50000, 1);
+  // Paper: ~96% irregular for Memcached.
+  EXPECT_GT(f.other, 0.85);
+}
+
+TEST(AppModels, NumPyIsMostlySequentialOrStride) {
+  auto stream = MakeNumPy(kNumPyPages, 42);
+  const auto f = ClassifyWindows(*stream, 2, 50000, 2);
+  EXPECT_GT(f.sequential + f.stride, 0.6);
+}
+
+TEST(AppModels, VoltDbIsMajorityIrregular) {
+  auto stream = MakeVoltDb(kVoltDbPages, 42);
+  const auto f = ClassifyWindows(*stream, 4, 50000, 3);
+  // Paper section 5.3.3: ~69% irregular.
+  EXPECT_GT(f.other, 0.5);
+  EXPECT_LT(f.other, 0.9);
+}
+
+TEST(AppModels, WindowTwoHasNoOtherCategoryByConstruction) {
+  // Paper section 2.3: with X = 2 every non-sequential delta counts as a
+  // stride, so "other" is structurally empty at window 2.
+  auto stream = MakePowerGraph(kPowerGraphPages, 42);
+  const auto f = ClassifyWindows(*stream, 2, 50000, 4);
+  EXPECT_LT(f.other, 0.01);
+}
+
+TEST(AppModels, PowerGraphHasAllThreePatternKinds) {
+  auto stream = MakePowerGraph(kPowerGraphPages, 42);
+  const auto f = ClassifyWindows(*stream, 4, 50000, 4);
+  EXPECT_GT(f.sequential, 0.2);
+  EXPECT_GT(f.other, 0.1);
+  EXPECT_GT(f.stride, 0.02);
+}
+
+TEST(AppModels, StrictWindowsDecayFasterThanMajorityWindows) {
+  // The paper's core observation: strict pattern fractions collapse as the
+  // window grows from 2 to 8 because transient interruptions break them.
+  auto stream = MakePowerGraph(kPowerGraphPages, 42);
+  const auto w2 = ClassifyWindows(*stream, 2, 50000, 5);
+  auto stream2 = MakePowerGraph(kPowerGraphPages, 42);
+  const auto w8 = ClassifyWindows(*stream2, 8, 50000, 5);
+  EXPECT_LT(w8.sequential, w2.sequential);
+}
+
+TEST(AppModels, FootprintsMatchSpec) {
+  for (const auto& app : kApps) {
+    auto stream = app.make(app.footprint_pages, 7);
+    EXPECT_EQ(stream->footprint_pages(), app.footprint_pages);
+    EXPECT_EQ(stream->name(), app.name);
+  }
+}
+
+// --- Trace record/replay -----------------------------------------------------
+
+TEST(Trace, CaptureAndReplayIdentical) {
+  auto stream = MakePowerGraph(1024, 9);
+  Rng rng(9);
+  const Trace trace = Trace::Capture(*stream, 1000, rng);
+  ASSERT_EQ(trace.size(), 1000u);
+  TraceReplayStream replay(trace);
+  Rng unused(0);
+  for (size_t i = 0; i < 1000; ++i) {
+    const MemOp& expected = trace.ops()[i];
+    const MemOp actual = replay.Next(unused);
+    ASSERT_EQ(actual.vpn, expected.vpn);
+    ASSERT_EQ(actual.write, expected.write);
+    ASSERT_EQ(actual.think_ns, expected.think_ns);
+  }
+}
+
+TEST(Trace, ReplayWrapsAround) {
+  Trace trace;
+  trace.Append(MemOp{1, false, 10, true});
+  trace.Append(MemOp{2, false, 10, true});
+  TraceReplayStream replay(trace);
+  Rng unused(0);
+  EXPECT_EQ(replay.Next(unused).vpn, 1u);
+  EXPECT_EQ(replay.Next(unused).vpn, 2u);
+  EXPECT_EQ(replay.Next(unused).vpn, 1u);
+  EXPECT_EQ(replay.footprint_pages(), 3u);
+}
+
+TEST(Trace, FileRoundTrip) {
+  Trace trace;
+  trace.Append(MemOp{100, true, 250, false});
+  trace.Append(MemOp{200, false, 0, true});
+  const std::string path = ::testing::TempDir() + "/leap_trace_test.txt";
+  ASSERT_TRUE(trace.SaveTo(path));
+  const auto loaded = Trace::LoadFrom(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->ops()[0].vpn, 100u);
+  EXPECT_TRUE(loaded->ops()[0].write);
+  EXPECT_EQ(loaded->ops()[0].think_ns, 250u);
+  EXPECT_FALSE(loaded->ops()[0].op_end);
+  EXPECT_TRUE(loaded->ops()[1].op_end);
+}
+
+TEST(Trace, LoadMissingFileFails) {
+  EXPECT_FALSE(Trace::LoadFrom("/nonexistent/path/foo.txt").has_value());
+}
+
+}  // namespace
+}  // namespace leap

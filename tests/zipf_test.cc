@@ -1,0 +1,81 @@
+#include "src/sim/zipf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace leap {
+namespace {
+
+TEST(Zipf, SamplesStayInRange) {
+  Rng rng(31);
+  ZipfSampler z(1000, 0.99);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_LT(z.Sample(rng), 1000u);
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(32);
+  ZipfSampler z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[z.Sample(rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 80);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  Rng rng(33);
+  ZipfSampler z(100000, 0.99);
+  const int n = 100000;
+  int top10 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (z.Sample(rng) < 10) {
+      ++top10;
+    }
+  }
+  // With theta ~1 over 1e5 items, the top-10 ranks draw a large share.
+  EXPECT_GT(top10, n / 5);
+}
+
+TEST(Zipf, HigherThetaIsMoreSkewed) {
+  Rng rng_a(34);
+  Rng rng_b(34);
+  ZipfSampler mild(10000, 0.5);
+  ZipfSampler heavy(10000, 0.99);
+  const int n = 50000;
+  int mild_top = 0;
+  int heavy_top = 0;
+  for (int i = 0; i < n; ++i) {
+    mild_top += mild.Sample(rng_a) < 100 ? 1 : 0;
+    heavy_top += heavy.Sample(rng_b) < 100 ? 1 : 0;
+  }
+  EXPECT_GT(heavy_top, mild_top);
+}
+
+TEST(Zipf, RankZeroIsMostPopular) {
+  Rng rng(35);
+  ZipfSampler z(1000, 0.9);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) {
+    ++counts[z.Sample(rng)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(Zipf, SingleItemDomain) {
+  Rng rng(36);
+  ZipfSampler z(1, 0.99);
+  EXPECT_EQ(z.Sample(rng), 0u);
+  ZipfSampler z0(0, 0.99);  // clamped to 1
+  EXPECT_EQ(z0.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace leap
