@@ -1,0 +1,175 @@
+// Steady-state hot-path throughput: wall-clock simulated accesses/sec.
+//
+// Drives Machine::Access directly (no result histograms) on the two micro
+// workloads — Sequential and Zipf(0.99) — over the standard micro geometry,
+// on the full Leap stack. Emits BENCH_hotpath.json recording the measured
+// numbers next to the pre-refactor baseline, so the repo's perf trajectory
+// is auditable (see EXPERIMENTS.md).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/zipf.h"
+
+namespace leap {
+namespace {
+
+// Accesses/sec measured on this machine at the pre-refactor seed commit
+// (std::unordered_map containers, std::list LRU, std::function event heap,
+// per-miss vector allocation), using this same bench (pre-generated access
+// sequences). Re-baseline when the hardware changes.
+constexpr double kBaselineSequentialAps = 1680876.0;
+constexpr double kBaselineZipfAps = 5113747.0;
+
+constexpr size_t kWarmAccesses = 200'000;
+constexpr size_t kMeasuredAccesses = 2'000'000;
+
+struct HotpathResult {
+  double accesses_per_sec = 0.0;
+  // Determinism fingerprint: final simulated time plus hot counters.
+  SimTimeNs end_sim_time = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t prefetch_hits = 0;
+};
+
+// Times `accesses` calls to Machine::Access after `warm` untimed ones.
+// The access sequence is pre-generated so the timed region contains ONLY
+// Machine::Access - workload generation (e.g. the Zipf sampler's pow())
+// is not part of what this bench tracks.
+HotpathResult Measure(Machine& machine, Pid pid, SimTimeNs start,
+                      const std::vector<Vpn>& vpns, size_t warm) {
+  SimTimeNs now = start;
+  for (size_t i = 0; i < warm; ++i) {
+    now += 750;
+    now += machine.Access(pid, vpns[i], /*write=*/false, now).latency;
+  }
+  const size_t accesses = vpns.size() - warm;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = warm; i < vpns.size(); ++i) {
+    now += 750;
+    now += machine.Access(pid, vpns[i], /*write=*/false, now).latency;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  HotpathResult out;
+  out.accesses_per_sec = static_cast<double>(accesses) / secs;
+  out.end_sim_time = now;
+  out.cache_hits = machine.counters().Get(counter::kCacheHits);
+  out.cache_misses = machine.counters().Get(counter::kCacheMisses);
+  out.prefetch_hits = machine.counters().Get(counter::kPrefetchHits);
+  return out;
+}
+
+HotpathResult RunSequential() {
+  Machine machine(LeapVmmConfig(bench::kMicroFrames, 42));
+  const Pid pid = machine.CreateProcess(bench::kMicroFootprintPages / 2);
+  const SimTimeNs warm_end = WarmUp(machine, pid, bench::kMicroFootprintPages);
+  std::vector<Vpn> vpns(kWarmAccesses + kMeasuredAccesses);
+  for (size_t i = 0; i < vpns.size(); ++i) {
+    vpns[i] = i % bench::kMicroFootprintPages;
+  }
+  return Measure(machine, pid, warm_end + 10 * kNsPerMs, vpns, kWarmAccesses);
+}
+
+HotpathResult RunZipf() {
+  Machine machine(LeapVmmConfig(bench::kMicroFrames, 42));
+  const Pid pid = machine.CreateProcess(bench::kMicroFootprintPages / 2);
+  const SimTimeNs warm_end = WarmUp(machine, pid, bench::kMicroFootprintPages);
+  ZipfSampler zipf(bench::kMicroFootprintPages, 0.99);
+  Rng rng(7);
+  std::vector<Vpn> vpns(kWarmAccesses + kMeasuredAccesses);
+  for (Vpn& v : vpns) {
+    v = static_cast<Vpn>(zipf.Sample(rng));
+  }
+  return Measure(machine, pid, warm_end + 10 * kNsPerMs, vpns, kWarmAccesses);
+}
+
+void PrintResult(const char* name, const HotpathResult& r, double baseline) {
+  std::printf("%-12s %12.0f accesses/sec", name, r.accesses_per_sec);
+  if (baseline > 0.0) {
+    std::printf("  (%.2fx vs baseline %.0f)", r.accesses_per_sec / baseline,
+                baseline);
+  }
+  std::printf("\n  fingerprint: sim_end=%llu hits=%llu misses=%llu "
+              "prefetch_hits=%llu\n",
+              static_cast<unsigned long long>(r.end_sim_time),
+              static_cast<unsigned long long>(r.cache_hits),
+              static_cast<unsigned long long>(r.cache_misses),
+              static_cast<unsigned long long>(r.prefetch_hits));
+}
+
+void WriteJson(const std::string& path, const HotpathResult& seq,
+               const HotpathResult& zipf) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workloads\": [\"sequential\", \"zipf-0.99\"],\n");
+  std::fprintf(f, "  \"measured_accesses\": %zu,\n", kMeasuredAccesses);
+  std::fprintf(f, "  \"baseline\": {\n");
+  std::fprintf(f, "    \"note\": \"pre-refactor seed (unordered_map + "
+                  "std::list + std::function + per-miss vectors)\",\n");
+  std::fprintf(f, "    \"sequential_accesses_per_sec\": %.0f,\n",
+               kBaselineSequentialAps);
+  std::fprintf(f, "    \"zipf_accesses_per_sec\": %.0f\n", kBaselineZipfAps);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"current\": {\n");
+  std::fprintf(f, "    \"sequential_accesses_per_sec\": %.0f,\n",
+               seq.accesses_per_sec);
+  std::fprintf(f, "    \"zipf_accesses_per_sec\": %.0f\n",
+               zipf.accesses_per_sec);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"speedup\": {\n");
+  std::fprintf(f, "    \"sequential\": %.3f,\n",
+               kBaselineSequentialAps > 0.0
+                   ? seq.accesses_per_sec / kBaselineSequentialAps
+                   : 0.0);
+  std::fprintf(f, "    \"zipf\": %.3f\n",
+               kBaselineZipfAps > 0.0
+                   ? zipf.accesses_per_sec / kBaselineZipfAps
+                   : 0.0);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fingerprint\": {\n");
+  std::fprintf(f, "    \"sequential\": {\"sim_end\": %llu, \"hits\": %llu, "
+                  "\"misses\": %llu, \"prefetch_hits\": %llu},\n",
+               static_cast<unsigned long long>(seq.end_sim_time),
+               static_cast<unsigned long long>(seq.cache_hits),
+               static_cast<unsigned long long>(seq.cache_misses),
+               static_cast<unsigned long long>(seq.prefetch_hits));
+  std::fprintf(f, "    \"zipf\": {\"sim_end\": %llu, \"hits\": %llu, "
+                  "\"misses\": %llu, \"prefetch_hits\": %llu}\n",
+               static_cast<unsigned long long>(zipf.end_sim_time),
+               static_cast<unsigned long long>(zipf.cache_hits),
+               static_cast<unsigned long long>(zipf.cache_misses),
+               static_cast<unsigned long long>(zipf.prefetch_hits));
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void Run(const std::string& json_path) {
+  bench::PrintHeader(
+      "Hot-path throughput - wall-clock simulated accesses/sec",
+      "Leap's data-path work is O(1) per fault; the simulator's access path "
+      "must be allocation-free to measure at scale");
+  const HotpathResult seq = RunSequential();
+  PrintResult("sequential", seq, kBaselineSequentialAps);
+  const HotpathResult zipf = RunZipf();
+  PrintResult("zipf-0.99", zipf, kBaselineZipfAps);
+  WriteJson(json_path, seq, zipf);
+}
+
+}  // namespace
+}  // namespace leap
+
+int main(int argc, char** argv) {
+  leap::Run(argc > 1 ? argv[1] : "BENCH_hotpath.json");
+  return 0;
+}

@@ -1,9 +1,31 @@
 #include "src/blocklayer/request_queue.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cassert>
 
 namespace leap {
+namespace {
+
+// Sorts, dedups, and back-merges `slots` into device requests, writing into
+// caller-provided scratch so steady-state submission never allocates.
+void MergeAndSortInto(std::span<const SwapSlot> slots, bool write,
+                      SimTimeNs now, std::vector<SwapSlot>* sorted,
+                      std::vector<Bio>* requests) {
+  sorted->assign(slots.begin(), slots.end());
+  std::sort(sorted->begin(), sorted->end());
+  sorted->erase(std::unique(sorted->begin(), sorted->end()), sorted->end());
+
+  requests->clear();
+  for (SwapSlot slot : *sorted) {
+    if (!requests->empty() && requests->back().end() == slot) {
+      ++requests->back().npages;  // back-merge
+    } else {
+      requests->push_back(Bio{slot, 1, write, now});
+    }
+  }
+}
+
+}  // namespace
 
 RequestQueue::RequestQueue(const BlockLayerConfig& config, BackingStore* store)
     : config_(config),
@@ -18,18 +40,9 @@ RequestQueue::RequestQueue(const BlockLayerConfig& config, BackingStore* store)
 
 std::vector<Bio> RequestQueue::MergeAndSort(std::span<const SwapSlot> slots,
                                             bool write, SimTimeNs now) {
-  std::vector<SwapSlot> sorted(slots.begin(), slots.end());
-  std::sort(sorted.begin(), sorted.end());
-  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-
+  std::vector<SwapSlot> sorted;
   std::vector<Bio> requests;
-  for (SwapSlot slot : sorted) {
-    if (!requests.empty() && requests.back().end() == slot) {
-      ++requests.back().npages;  // back-merge
-    } else {
-      requests.push_back(Bio{slot, 1, write, now});
-    }
-  }
+  MergeAndSortInto(slots, write, now, &sorted, &requests);
   return requests;
 }
 
@@ -40,12 +53,16 @@ SimTimeNs RequestQueue::StageCost(Rng& rng) {
 void RequestQueue::SubmitBatch(std::span<const SwapSlot> slots, bool write,
                                SimTimeNs now, Rng& rng,
                                std::span<SimTimeNs> ready_at) {
+  // ready_at is indexed exactly like slots (slots[0] = the demand page);
+  // a size mismatch would silently mis-attribute completion times.
+  assert(ready_at.size() == slots.size() &&
+         "SubmitBatch: ready_at must parallel slots");
   if (slots.empty()) {
     return;
   }
-  std::vector<Bio> requests = MergeAndSort(slots, write, now);
-  bios_merged_ += slots.size() - requests.size();
-  requests_dispatched_ += requests.size();
+  MergeAndSortInto(slots, write, now, &sorted_scratch_, &requests_scratch_);
+  bios_merged_ += slots.size() - requests_scratch_.size();
+  requests_dispatched_ += requests_scratch_.size();
 
   // The batch pays the staging stages once (that is what batching buys),
   // then device requests go out in elevator order.
@@ -56,21 +73,27 @@ void RequestQueue::SubmitBatch(std::span<const SwapSlot> slots, bool write,
   // the elevator may service lower-addressed prefetch pages first, so a
   // demand page in the middle of a merged run eats its predecessors'
   // transfer time - the reordering cost of the throughput-first design.
-  std::unordered_map<SwapSlot, SimTimeNs> completion;
-  completion.reserve(slots.size());
-  for (const Bio& bio : requests) {
-    std::vector<SwapSlot> run(bio.npages);
+  completion_scratch_.clear();
+  for (const Bio& bio : requests_scratch_) {
+    run_scratch_.resize(bio.npages);
     for (size_t i = 0; i < bio.npages; ++i) {
-      run[i] = bio.start + i;
+      run_scratch_[i] = bio.start + i;
     }
-    std::vector<SimTimeNs> run_ready(bio.npages);
-    store_->ReadPages(run, device_start, rng, run_ready);
+    run_ready_scratch_.assign(bio.npages, 0);
+    store_->ReadPages(run_scratch_, device_start, rng, run_ready_scratch_);
     for (size_t i = 0; i < bio.npages; ++i) {
-      completion[run[i]] = run_ready[i];
+      completion_scratch_.emplace_back(run_scratch_[i], run_ready_scratch_[i]);
     }
   }
+  // Batches are tiny (<= 1 + kMaxPrefetchCandidates pages), so a linear
+  // scan beats hashing and keeps this allocation-free.
   for (size_t i = 0; i < slots.size(); ++i) {
-    ready_at[i] = completion[slots[i]];
+    for (const auto& [slot, done_at] : completion_scratch_) {
+      if (slot == slots[i]) {
+        ready_at[i] = done_at;
+        break;
+      }
+    }
   }
 }
 

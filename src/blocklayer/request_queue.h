@@ -16,6 +16,7 @@
 #define LEAP_SRC_BLOCKLAYER_REQUEST_QUEUE_H_
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/blocklayer/bio.h"
@@ -47,9 +48,10 @@ class RequestQueue {
   // fault handler queued with it. The whole batch goes through the staging
   // stages once (they are batched by design), is sorted and merged, then
   // dispatched in elevator order. `ready_at[i]` receives the completion
-  // time of `slots[i]` - bio-granular, so the demand page (index 0 by
-  // convention) can be delayed behind lower-addressed prefetch pages the
-  // elevator chose to service first.
+  // time of `slots[i]` - bio-granular, so the demand page (slots[0] BY
+  // CONVENTION, see DataPath::ReadPages) can be delayed behind lower-
+  // addressed prefetch pages the elevator chose to service first.
+  // Requires ready_at.size() == slots.size() (asserted).
   void SubmitBatch(std::span<const SwapSlot> slots, bool write, SimTimeNs now,
                    Rng& rng, std::span<SimTimeNs> ready_at);
 
@@ -74,6 +76,15 @@ class RequestQueue {
   LatencyModel dispatch_;
   uint64_t requests_dispatched_ = 0;
   uint64_t bios_merged_ = 0;
+
+  // Per-batch scratch, reused across submissions so the steady-state miss
+  // path performs no heap allocation (batch sizes are bounded by the
+  // prefetch-candidate cap).
+  std::vector<SwapSlot> sorted_scratch_;
+  std::vector<Bio> requests_scratch_;
+  std::vector<SwapSlot> run_scratch_;
+  std::vector<SimTimeNs> run_ready_scratch_;
+  std::vector<std::pair<SwapSlot, SimTimeNs>> completion_scratch_;
 };
 
 }  // namespace leap

@@ -1,0 +1,115 @@
+// Fixed-capacity inline vector: vector-like interface, storage embedded in
+// the object, no heap allocation ever. Used for prefetch candidate lists
+// and I/O batch scratch on the fault path, whose sizes are bounded by
+// compile-time caps (see kMaxPrefetchCandidates in src/sim/types.h).
+//
+// T must be default-constructible and copyable (the intended use is scalar
+// slots/timestamps). Overflowing push_back is a programming error: it
+// asserts in debug builds and drops the element in release builds, so
+// callers must clamp generation loops to capacity (or check full()).
+#ifndef LEAP_SRC_CONTAINER_INLINE_VEC_H_
+#define LEAP_SRC_CONTAINER_INLINE_VEC_H_
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+
+namespace leap {
+
+template <typename T, size_t N>
+class InlineVec {
+ public:
+  using value_type = T;
+
+  InlineVec() = default;
+
+  static constexpr size_t capacity() { return N; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == N; }
+
+  void push_back(const T& v) {
+    assert(size_ < N && "InlineVec overflow");
+    if (size_ < N) {
+      items_[size_++] = v;
+    }
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    if (size_ > 0) {
+      --size_;
+    }
+  }
+
+  void clear() { size_ = 0; }
+
+  // Grows (value-initialized) or shrinks to exactly `n` elements.
+  void resize(size_t n) {
+    assert(n <= N);
+    if (n > N) {
+      n = N;
+    }
+    for (size_t i = size_; i < n; ++i) {
+      items_[i] = T{};
+    }
+    size_ = n;
+  }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return items_[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return items_[i];
+  }
+
+  T& back() { return items_[size_ - 1]; }
+  const T& back() const { return items_[size_ - 1]; }
+
+  T* data() { return items_; }
+  const T* data() const { return items_; }
+  T* begin() { return items_; }
+  T* end() { return items_ + size_; }
+  const T* begin() const { return items_; }
+  const T* end() const { return items_ + size_; }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) {
+      return false;
+    }
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a.items_[i] == b.items_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Element-wise comparison against any sized range (e.g. std::vector in
+  // test expectations).
+  template <typename C>
+    requires(!std::is_same_v<C, InlineVec> &&
+             requires(const C& c) { c.size(); c.begin(); })
+  friend bool operator==(const InlineVec& a, const C& b) {
+    if (a.size_ != b.size()) {
+      return false;
+    }
+    auto it = b.begin();
+    for (size_t i = 0; i < a.size_; ++i, ++it) {
+      if (!(a.items_[i] == *it)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  T items_[N] = {};
+  size_t size_ = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_CONTAINER_INLINE_VEC_H_

@@ -4,6 +4,10 @@
 // addresses, only the difference between two consecutive remote page
 // accesses is stored, which both shrinks the footprint and makes trend
 // detection a majority query over deltas.
+//
+// Push and FromHead are the innermost operations of trend detection (called
+// tens of times per fault), so they are inline and division-free: the ring
+// index wraps with a compare-and-subtract instead of a modulo.
 #ifndef LEAP_SRC_CORE_ACCESS_HISTORY_H_
 #define LEAP_SRC_CORE_ACCESS_HISTORY_H_
 
@@ -16,10 +20,18 @@ namespace leap {
 
 class AccessHistory {
  public:
-  explicit AccessHistory(size_t capacity);
+  explicit AccessHistory(size_t capacity)
+      : ring_(capacity == 0 ? 1 : capacity, 0) {}
 
   // Appends the newest delta, overwriting the oldest once full.
-  void Push(PageDelta delta);
+  void Push(PageDelta delta) {
+    const size_t next = head_ + 1;
+    head_ = next == ring_.size() ? 0 : next;
+    ring_[head_] = delta;
+    if (size_ < ring_.size()) {
+      ++size_;
+    }
+  }
 
   // Number of valid entries, at most capacity().
   size_t size() const { return size_; }
@@ -28,9 +40,15 @@ class AccessHistory {
 
   // Entry `i` steps back from the head: FromHead(0) is the newest delta.
   // Precondition: i < size().
-  PageDelta FromHead(size_t i) const;
+  PageDelta FromHead(size_t i) const {
+    const size_t h = head_;
+    return ring_[h >= i ? h - i : h + ring_.size() - i];
+  }
 
-  void Clear();
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
 
  private:
   std::vector<PageDelta> ring_;

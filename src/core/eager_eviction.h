@@ -6,14 +6,17 @@
 // immediately instead of leaving it for kswapd's LRU scan. If reclaim needs
 // to evict prefetched pages that were never consumed, they leave in FIFO
 // order - they have no access history to rank them by.
+//
+// Thin wrapper over the pooled LruList: Insert pins FIFO position at
+// prefetch time (duplicates don't refresh), and the list's cold end is the
+// oldest prefetch. All operations are allocation-free in steady state.
 #ifndef LEAP_SRC_CORE_EAGER_EVICTION_H_
 #define LEAP_SRC_CORE_EAGER_EVICTION_H_
 
 #include <cstddef>
-#include <list>
 #include <optional>
-#include <unordered_map>
 
+#include "src/mem/lru_list.h"
 #include "src/sim/types.h"
 
 namespace leap {
@@ -22,25 +25,24 @@ class PrefetchFifoLruList {
  public:
   // Appends a newly prefetched page at the tail. Duplicate inserts refresh
   // nothing: FIFO position is set once at prefetch time.
-  void OnPrefetched(SwapSlot slot);
+  void OnPrefetched(SwapSlot slot) { list_.Insert(slot); }
 
   // Removes the page (consumed by a hit, eagerly freed). Returns true when
   // the page was present.
-  bool OnConsumed(SwapSlot slot);
+  bool OnConsumed(SwapSlot slot) { return list_.Remove(slot); }
 
   // Pops the oldest unconsumed prefetched page for eviction under memory
   // pressure; nullopt when empty.
-  std::optional<SwapSlot> PopOldest();
+  std::optional<SwapSlot> PopOldest() { return list_.PopColdest(); }
 
-  bool Contains(SwapSlot slot) const { return index_.count(slot) != 0; }
-  size_t size() const { return fifo_.size(); }
-  bool empty() const { return fifo_.empty(); }
+  bool Contains(SwapSlot slot) const { return list_.Contains(slot); }
+  size_t size() const { return list_.size(); }
+  bool empty() const { return list_.empty(); }
 
-  void Clear();
+  void Clear() { list_.Clear(); }
 
  private:
-  std::list<SwapSlot> fifo_;  // front = oldest
-  std::unordered_map<SwapSlot, std::list<SwapSlot>::iterator> index_;
+  LruList<SwapSlot> list_;  // front = newest prefetch, cold end = oldest
 };
 
 }  // namespace leap

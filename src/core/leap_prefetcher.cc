@@ -3,24 +3,25 @@
 namespace leap {
 namespace {
 
-// Generates up to `count` pages at stride `delta` from `pt`, dropping
+// Generates up to `count` pages at stride `delta` from `pt` into `*pages`
+// (a fixed-capacity scratch list owned by the decision), dropping
 // candidates that underflow the address space or equal the demand page.
-std::vector<SwapSlot> GenerateCandidates(SwapSlot pt, PageDelta delta,
-                                         size_t count) {
-  std::vector<SwapSlot> pages;
+void GenerateCandidates(SwapSlot pt, PageDelta delta, size_t count,
+                        CandidateVec* pages) {
   if (delta == 0) {
-    return pages;
+    return;
   }
-  pages.reserve(count);
+  if (count > pages->capacity()) {
+    count = pages->capacity();
+  }
   int64_t addr = static_cast<int64_t>(pt);
   for (size_t i = 0; i < count; ++i) {
     addr += delta;
     if (addr < 0) {
       break;
     }
-    pages.push_back(static_cast<SwapSlot>(addr));
+    pages->push_back(static_cast<SwapSlot>(addr));
   }
-  return pages;
 }
 
 }  // namespace
@@ -69,14 +70,14 @@ PrefetchDecision LeapPrefetcher::OnMiss(SwapSlot pt) {
 
   if (trend.has_value()) {
     decision.delta_used = *trend;
-    decision.pages = GenerateCandidates(pt, *trend, decision.window_size);
+    GenerateCandidates(pt, *trend, decision.window_size, &decision.pages);
   } else if (last_trend_.has_value()) {
     // No majority right now: speculate around Pt with the latest trend so a
     // short-term irregularity cannot fully stall prefetching.
     decision.speculative = true;
     decision.delta_used = *last_trend_;
-    decision.pages =
-        GenerateCandidates(pt, *last_trend_, decision.window_size);
+    GenerateCandidates(pt, *last_trend_, decision.window_size,
+                       &decision.pages);
   }
   return decision;
 }

@@ -7,7 +7,6 @@
 #define LEAP_SRC_CORE_LEAP_PREFETCHER_H_
 
 #include <optional>
-#include <vector>
 
 #include "src/core/access_history.h"
 #include "src/core/params.h"
@@ -23,8 +22,9 @@ struct PrefetchDecision {
   size_t window_size = 0;
   // Pages to prefetch (demand page excluded). May be shorter than
   // window_size when candidates fall off the start of the address space or
-  // collapse onto the demand page (delta 0).
-  std::vector<SwapSlot> pages;
+  // collapse onto the demand page (delta 0). Fixed-capacity inline
+  // storage: producing a decision never heap-allocates.
+  CandidateVec pages;
   // Whether FindTrend produced a majority for this fault.
   bool trend_found = false;
   // Whether the candidates were generated speculatively from the previous

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/types.h"
+
 namespace leap {
 
 size_t RoundUpPow2(size_t v) {
@@ -16,7 +18,7 @@ size_t RoundUpPow2(size_t v) {
 }
 
 PrefetchWindow::PrefetchWindow(size_t max_window)
-    : max_window_(std::max<size_t>(1, max_window)) {}
+    : max_window_(std::clamp<size_t>(max_window, 1, kMaxPrefetchCandidates)) {}
 
 size_t PrefetchWindow::ComputeSize(bool follows_trend) {
   size_t size = 0;

@@ -9,8 +9,9 @@
 #define LEAP_SRC_CORE_PROCESS_TRACKER_H_
 
 #include <cstddef>
-#include <unordered_map>
+#include <memory>
 
+#include "src/container/flat_map.h"
 #include "src/core/leap_prefetcher.h"
 #include "src/core/params.h"
 #include "src/sim/types.h"
@@ -37,22 +38,24 @@ class ProcessPageTracker {
   void OnPrefetchHit(Pid pid) { ForProcess(pid).OnPrefetchHit(); }
 
   LeapPrefetcher& ForProcess(Pid pid) {
-    auto it = trackers_.find(pid);
-    if (it == trackers_.end()) {
-      it = trackers_.emplace(pid, LeapPrefetcher(params_)).first;
+    auto [slot, inserted] = trackers_.Emplace(pid);
+    if (inserted) {
+      *slot = std::make_unique<LeapPrefetcher>(params_);
     }
-    return it->second;
+    return **slot;
   }
 
   // Drops per-process state (process exit).
-  void RemoveProcess(Pid pid) { trackers_.erase(pid); }
+  void RemoveProcess(Pid pid) { trackers_.Erase(pid); }
 
   size_t process_count() const { return trackers_.size(); }
   const LeapParams& params() const { return params_; }
 
  private:
   LeapParams params_;
-  std::unordered_map<Pid, LeapPrefetcher> trackers_;
+  // unique_ptr values: LeapPrefetcher is not default-constructible, and
+  // pointer stability across map growth keeps ForProcess references safe.
+  FlatMap<Pid, std::unique_ptr<LeapPrefetcher>> trackers_;
 };
 
 }  // namespace leap

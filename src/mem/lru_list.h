@@ -1,18 +1,22 @@
 // O(1) LRU list keyed by (pid, vpn), the reclaim order for resident pages.
 //
 // kswapd (src/paging/kswapd) scans from the cold end, exactly like the
-// kernel walking the inactive list. Kept header-only: it is a small
-// template used with two key types.
+// kernel walking the inactive list. Implemented as an intrusive doubly-
+// linked list threaded through a slab of pooled nodes (indices, not
+// pointers) with a FlatMap key index: a Touch in steady state is two map
+// probes and a few slab stores - no per-operation allocation, no pointer-
+// chased std::list nodes. Kept header-only: it is a small template used
+// with a handful of key types.
 #ifndef LEAP_SRC_MEM_LRU_LIST_H_
 #define LEAP_SRC_MEM_LRU_LIST_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/container/flat_map.h"
 #include "src/sim/types.h"
 
 namespace leap {
@@ -22,67 +26,155 @@ class LruList {
  public:
   // Inserts or refreshes `key` as most-recently-used.
   void Touch(const Key& key) {
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      order_.erase(it->second);
+    auto [slot, inserted] = index_.Emplace(key);
+    if (!inserted) {
+      const uint32_t node = *slot;
+      Unlink(node);
+      LinkFront(node);
+      return;
     }
-    order_.push_front(key);
-    index_[key] = order_.begin();
+    *slot = NewNode(key);
+    LinkFront(*slot);
+  }
+
+  // Inserts `key` as most-recently-used only if absent (FIFO position is
+  // set once); returns true when inserted.
+  bool Insert(const Key& key) {
+    auto [slot, inserted] = index_.Emplace(key);
+    if (!inserted) {
+      return false;
+    }
+    *slot = NewNode(key);
+    LinkFront(*slot);
+    return true;
   }
 
   // Removes `key`; returns true if it was present.
   bool Remove(const Key& key) {
-    auto it = index_.find(key);
-    if (it == index_.end()) {
+    const uint32_t* node = index_.Find(key);
+    if (node == nullptr) {
       return false;
     }
-    order_.erase(it->second);
-    index_.erase(it);
+    const uint32_t idx = *node;
+    index_.Erase(key);
+    Unlink(idx);
+    FreeNode(idx);
     return true;
   }
 
   // Least-recently-used key, without removing it.
   std::optional<Key> Coldest() const {
-    if (order_.empty()) {
+    if (tail_ == kNil) {
       return std::nullopt;
     }
-    return order_.back();
+    return nodes_[tail_].key;
   }
 
   // Removes and returns the LRU key.
   std::optional<Key> PopColdest() {
-    if (order_.empty()) {
+    if (tail_ == kNil) {
       return std::nullopt;
     }
-    Key key = order_.back();
-    order_.pop_back();
-    index_.erase(key);
+    const uint32_t idx = tail_;
+    Key key = nodes_[idx].key;
+    index_.Erase(key);
+    Unlink(idx);
+    FreeNode(idx);
     return key;
   }
 
   // The n coldest keys, coldest first (for batch reclaim scans).
   std::vector<Key> ColdestN(size_t n) const {
     std::vector<Key> out;
-    out.reserve(std::min(n, order_.size()));
-    for (auto it = order_.rbegin(); it != order_.rend() && out.size() < n;
-         ++it) {
-      out.push_back(*it);
+    out.reserve(n < size_ ? n : size_);
+    for (uint32_t idx = tail_; idx != kNil && out.size() < n;
+         idx = nodes_[idx].prev) {
+      out.push_back(nodes_[idx].key);
     }
     return out;
   }
 
-  bool Contains(const Key& key) const { return index_.count(key) != 0; }
-  size_t size() const { return order_.size(); }
-  bool empty() const { return order_.empty(); }
+  bool Contains(const Key& key) const { return index_.Contains(key); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
+  // Drops all entries; the node slab is recycled, not deallocated.
   void Clear() {
-    order_.clear();
-    index_.clear();
+    for (uint32_t idx = head_; idx != kNil;) {
+      const uint32_t next = nodes_[idx].next;
+      FreeNode(idx);
+      idx = next;
+    }
+    head_ = kNil;
+    tail_ = kNil;
+    size_ = 0;
+    index_.Clear();
   }
 
  private:
-  std::list<Key> order_;  // front = hottest
-  std::unordered_map<Key, typename std::list<Key>::iterator, Hash> index_;
+  static constexpr uint32_t kNil = static_cast<uint32_t>(-1);
+
+  struct Node {
+    Key key{};
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+  };
+
+  uint32_t NewNode(const Key& key) {
+    uint32_t idx;
+    if (free_.empty()) {
+      idx = static_cast<uint32_t>(nodes_.size());
+      nodes_.push_back(Node{});
+    } else {
+      idx = free_.back();
+      free_.pop_back();
+    }
+    nodes_[idx].key = key;
+    return idx;
+  }
+
+  // Returns a node slot to the free pool; list membership (and size_) is
+  // Unlink's business.
+  void FreeNode(uint32_t idx) {
+    nodes_[idx].key = Key{};
+    free_.push_back(idx);
+  }
+
+  void LinkFront(uint32_t idx) {
+    nodes_[idx].prev = kNil;
+    nodes_[idx].next = head_;
+    if (head_ != kNil) {
+      nodes_[head_].prev = idx;
+    }
+    head_ = idx;
+    if (tail_ == kNil) {
+      tail_ = idx;
+    }
+    ++size_;
+  }
+
+  void Unlink(uint32_t idx) {
+    const uint32_t prev = nodes_[idx].prev;
+    const uint32_t next = nodes_[idx].next;
+    if (prev != kNil) {
+      nodes_[prev].next = next;
+    } else {
+      head_ = next;
+    }
+    if (next != kNil) {
+      nodes_[next].prev = prev;
+    } else {
+      tail_ = prev;
+    }
+    --size_;
+  }
+
+  std::vector<Node> nodes_;      // slab; front of list = hottest
+  std::vector<uint32_t> free_;   // recycled node indices
+  FlatMap<Key, uint32_t, Hash> index_;
+  uint32_t head_ = kNil;
+  uint32_t tail_ = kNil;
+  size_t size_ = 0;
 };
 
 // Key for process-owned resident pages.

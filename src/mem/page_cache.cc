@@ -3,32 +3,28 @@
 namespace leap {
 
 bool PageCache::Insert(SwapSlot slot, const CacheEntry& entry) {
-  const auto [it, inserted] = entries_.emplace(slot, entry);
+  const auto [value, inserted] = entries_.Emplace(slot, entry);
   if (inserted) {
     lru_.Touch(slot);
   }
   return inserted;
 }
 
-CacheEntry* PageCache::Lookup(SwapSlot slot) {
-  auto it = entries_.find(slot);
-  return it == entries_.end() ? nullptr : &it->second;
-}
+CacheEntry* PageCache::Lookup(SwapSlot slot) { return entries_.Find(slot); }
 
 const CacheEntry* PageCache::Lookup(SwapSlot slot) const {
-  auto it = entries_.find(slot);
-  return it == entries_.end() ? nullptr : &it->second;
+  return entries_.Find(slot);
 }
 
 std::optional<CacheEntry> PageCache::Remove(SwapSlot slot) {
-  auto it = entries_.find(slot);
-  if (it == entries_.end()) {
+  CacheEntry* entry = entries_.Find(slot);
+  if (entry == nullptr) {
     return std::nullopt;
   }
-  CacheEntry entry = it->second;
-  entries_.erase(it);
+  CacheEntry removed = *entry;
+  entries_.Erase(slot);
   lru_.Remove(slot);
-  return entry;
+  return removed;
 }
 
 }  // namespace leap

@@ -10,8 +10,8 @@
 
 #include <cstddef>
 #include <optional>
-#include <unordered_map>
 
+#include "src/container/flat_map.h"
 #include "src/mem/lru_list.h"
 #include "src/sim/types.h"
 
@@ -60,7 +60,7 @@ class PageCache {
   }
 
  private:
-  std::unordered_map<SwapSlot, CacheEntry> entries_;
+  FlatMap<SwapSlot, CacheEntry> entries_;
   LruList<SwapSlot> lru_;
 };
 

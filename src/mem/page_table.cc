@@ -7,23 +7,19 @@ void PageTable::Map(Vpn vpn, Pfn pfn) {
 }
 
 std::optional<PageTableEntry> PageTable::Unmap(Vpn vpn) {
-  auto it = entries_.find(vpn);
-  if (it == entries_.end()) {
+  PageTableEntry* entry = entries_.Find(vpn);
+  if (entry == nullptr) {
     return std::nullopt;
   }
-  PageTableEntry entry = it->second;
-  entries_.erase(it);
-  return entry;
+  PageTableEntry removed = *entry;
+  entries_.Erase(vpn);
+  return removed;
 }
 
-PageTableEntry* PageTable::Find(Vpn vpn) {
-  auto it = entries_.find(vpn);
-  return it == entries_.end() ? nullptr : &it->second;
-}
+PageTableEntry* PageTable::Find(Vpn vpn) { return entries_.Find(vpn); }
 
 const PageTableEntry* PageTable::Find(Vpn vpn) const {
-  auto it = entries_.find(vpn);
-  return it == entries_.end() ? nullptr : &it->second;
+  return entries_.Find(vpn);
 }
 
 }  // namespace leap

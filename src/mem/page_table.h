@@ -1,11 +1,16 @@
 // Per-process virtual page table: vpn -> frame, plus dirty/accessed state.
+//
+// Backed by a flat robin-hood map: the page-table walk on every simulated
+// access is a couple of cache lines, not an unordered_map node chase, and
+// steady-state map/unmap cycles never allocate (the table's capacity is
+// bounded by the process's peak resident set).
 #ifndef LEAP_SRC_MEM_PAGE_TABLE_H_
 #define LEAP_SRC_MEM_PAGE_TABLE_H_
 
 #include <cstddef>
 #include <optional>
-#include <unordered_map>
 
+#include "src/container/flat_map.h"
 #include "src/sim/types.h"
 
 namespace leap {
@@ -23,15 +28,16 @@ class PageTable {
   // Removes the mapping; returns the entry that was present, if any.
   std::optional<PageTableEntry> Unmap(Vpn vpn);
 
-  // Mutable lookup; nullptr when not present.
+  // Mutable lookup; nullptr when not present. The pointer is valid only
+  // until the next Map/Unmap (flat-map entries move on mutation).
   PageTableEntry* Find(Vpn vpn);
   const PageTableEntry* Find(Vpn vpn) const;
 
-  bool IsPresent(Vpn vpn) const { return entries_.count(vpn) != 0; }
+  bool IsPresent(Vpn vpn) const { return entries_.Contains(vpn); }
   size_t resident_pages() const { return entries_.size(); }
 
  private:
-  std::unordered_map<Vpn, PageTableEntry> entries_;
+  FlatMap<Vpn, PageTableEntry> entries_;
 };
 
 }  // namespace leap

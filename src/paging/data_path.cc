@@ -1,5 +1,7 @@
 #include "src/paging/data_path.h"
 
+#include <cassert>
+
 namespace leap {
 
 DefaultDataPath::DefaultDataPath(const DefaultPathConfig& config,
@@ -9,6 +11,9 @@ DefaultDataPath::DefaultDataPath(const DefaultPathConfig& config,
 SimTimeNs DefaultDataPath::ReadPages(std::span<const SwapSlot> slots,
                                      SimTimeNs now, Rng& rng,
                                      std::span<SimTimeNs> ready_at) {
+  // slots[0] is the demand page by convention (see DataPath::ReadPages).
+  assert(ready_at.size() == slots.size() &&
+         "ReadPages: ready_at must parallel slots");
   queue_.SubmitBatch(slots, /*write=*/false, now, rng, ready_at);
   return ready_at.empty() ? now : ready_at[0];
 }
@@ -33,6 +38,9 @@ LeapDataPath::LeapDataPath(const LeapPathConfig& config, BackingStore* store)
 SimTimeNs LeapDataPath::ReadPages(std::span<const SwapSlot> slots,
                                   SimTimeNs now, Rng& rng,
                                   std::span<SimTimeNs> ready_at) {
+  // slots[0] is the demand page by convention (see DataPath::ReadPages).
+  assert(ready_at.size() == slots.size() &&
+         "ReadPages: ready_at must parallel slots");
   if (slots.empty()) {
     return now;
   }

@@ -25,8 +25,11 @@ class DataPath {
  public:
   virtual ~DataPath() = default;
 
-  // Reads `slots[0]` (demand) plus trailing prefetch pages. Fills
-  // `ready_at` (same indexing). Returns the demand page's completion time.
+  // Reads one fault's pages. CONVENTION: slots[0] is the demand page; any
+  // trailing entries are its prefetch pages. Fills `ready_at`, indexed
+  // exactly like `slots` (ready_at[0] = demand completion), and returns
+  // the demand page's completion time. Implementations must require (and
+  // assert) ready_at.size() == slots.size().
   virtual SimTimeNs ReadPages(std::span<const SwapSlot> slots, SimTimeNs now,
                               Rng& rng, std::span<SimTimeNs> ready_at) = 0;
 

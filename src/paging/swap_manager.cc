@@ -4,9 +4,8 @@ namespace leap {
 
 SwapSlot SwapManager::SlotFor(Pid pid, Vpn vpn) {
   const uint64_t key = Key(pid, vpn);
-  auto it = forward_.find(key);
-  if (it != forward_.end()) {
-    return it->second;
+  if (const SwapSlot* existing = forward_.Find(key)) {
+    return *existing;
   }
   const SwapSlot slot = next_slot_++;
   forward_[key] = slot;
@@ -16,28 +15,28 @@ SwapSlot SwapManager::SlotFor(Pid pid, Vpn vpn) {
 
 void SwapManager::ReleaseSlot(Pid pid, Vpn vpn) {
   const uint64_t key = Key(pid, vpn);
-  auto it = forward_.find(key);
-  if (it == forward_.end()) {
+  const SwapSlot* slot = forward_.Find(key);
+  if (slot == nullptr) {
     return;
   }
-  reverse_.erase(it->second);
-  forward_.erase(it);
+  reverse_.Erase(*slot);
+  forward_.Erase(key);
 }
 
 std::optional<SwapSlot> SwapManager::FindSlot(Pid pid, Vpn vpn) const {
-  auto it = forward_.find(Key(pid, vpn));
-  if (it == forward_.end()) {
+  const SwapSlot* slot = forward_.Find(Key(pid, vpn));
+  if (slot == nullptr) {
     return std::nullopt;
   }
-  return it->second;
+  return *slot;
 }
 
 std::optional<PidVpn> SwapManager::OwnerOf(SwapSlot slot) const {
-  auto it = reverse_.find(slot);
-  if (it == reverse_.end()) {
+  const PidVpn* owner = reverse_.Find(slot);
+  if (owner == nullptr) {
     return std::nullopt;
   }
-  return it->second;
+  return *owner;
 }
 
 }  // namespace leap

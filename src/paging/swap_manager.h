@@ -5,12 +5,16 @@
 // swap space, interleaved evictions from different processes interleave
 // their slots - the exact property that confuses sequence-based prefetchers
 // (paper section 2.3) and that Leap's per-process histories tolerate.
+//
+// Both directions of the mapping live in flat robin-hood maps: FindSlot is
+// on the critical path of every fault, and steady-state slot churn
+// (allocate on swap-out, release on re-dirty) must not touch the allocator.
 #ifndef LEAP_SRC_PAGING_SWAP_MANAGER_H_
 #define LEAP_SRC_PAGING_SWAP_MANAGER_H_
 
 #include <optional>
-#include <unordered_map>
 
+#include "src/container/flat_map.h"
 #include "src/mem/lru_list.h"
 #include "src/sim/types.h"
 
@@ -46,8 +50,8 @@ class SwapManager {
  private:
   size_t cluster_pages_;
   SwapSlot next_slot_ = 0;
-  std::unordered_map<uint64_t, SwapSlot> forward_;  // key: pid<<48 ^ vpn
-  std::unordered_map<SwapSlot, PidVpn> reverse_;
+  FlatMap<uint64_t, SwapSlot> forward_;  // key: pid<<48 ^ vpn
+  FlatMap<SwapSlot, PidVpn> reverse_;
 
   static uint64_t Key(Pid pid, Vpn vpn) {
     return (static_cast<uint64_t>(pid) << 48) ^ vpn;

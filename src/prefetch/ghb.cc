@@ -8,21 +8,21 @@ GhbPrefetcher::GhbPrefetcher(const GhbConfig& config) : config_(config) {
   buffer_.reserve(config_.buffer_size);
 }
 
-std::vector<SwapSlot> GhbPrefetcher::OnFault(Pid pid, SwapSlot slot) {
-  std::vector<SwapSlot> candidates;
+CandidateVec GhbPrefetcher::OnFault(Pid pid, SwapSlot slot) {
+  CandidateVec candidates;
 
-  const auto last_it = last_addr_.find(pid);
-  if (last_it == last_addr_.end()) {
+  SwapSlot* last = last_addr_.Find(pid);
+  if (last == nullptr) {
     last_addr_[pid] = slot;
     return candidates;
   }
-  const PageDelta delta = static_cast<PageDelta>(slot) -
-                          static_cast<PageDelta>(last_it->second);
-  last_it->second = slot;
+  const PageDelta delta =
+      static_cast<PageDelta>(slot) - static_cast<PageDelta>(*last);
+  *last = slot;
 
-  const auto prev_delta_it = last_delta_.find(pid);
-  const bool have_pair = prev_delta_it != last_delta_.end();
-  const PageDelta prev_delta = have_pair ? prev_delta_it->second : 0;
+  const PageDelta* prev_it = last_delta_.Find(pid);
+  const bool have_pair = prev_it != nullptr;
+  const PageDelta prev_delta = have_pair ? *prev_it : 0;
   last_delta_[pid] = delta;
 
   // Record the new delta into the global buffer, linking same-signature
@@ -32,8 +32,8 @@ std::vector<SwapSlot> GhbPrefetcher::OnFault(Pid pid, SwapSlot slot) {
   entry.delta = delta;
   if (have_pair) {
     const uint64_t sig = Signature(prev_delta, delta);
-    const auto idx = index_.find(sig);
-    entry.prev = idx == index_.end() ? kNoLink : idx->second;
+    const size_t* idx = index_.Find(sig);
+    entry.prev = idx == nullptr ? kNoLink : *idx;
     index_[sig] = pos;
   }
   if (buffer_.size() < config_.buffer_size) {
@@ -51,13 +51,14 @@ std::vector<SwapSlot> GhbPrefetcher::OnFault(Pid pid, SwapSlot slot) {
   // Correlate: find past occurrences of the current delta pair and replay
   // the deltas that followed them.
   const uint64_t sig = Signature(prev_delta, delta);
-  auto idx = index_.find(sig);
-  if (idx == index_.end()) {
+  const size_t* idx = index_.Find(sig);
+  if (idx == nullptr) {
     return candidates;
   }
   size_t chains = 0;
-  size_t link = idx->second;
-  while (link != kNoLink && chains < config_.max_chains) {
+  size_t link = *idx;
+  while (link != kNoLink && chains < config_.max_chains &&
+         !candidates.full()) {
     // Replay up to `degree` deltas following position `link`.
     int64_t addr = static_cast<int64_t>(slot);
     for (size_t step = 1; step <= config_.degree; ++step) {
@@ -69,7 +70,7 @@ std::vector<SwapSlot> GhbPrefetcher::OnFault(Pid pid, SwapSlot slot) {
         break;
       }
       addr += buffer_[next_pos].delta;
-      if (addr < 0) {
+      if (addr < 0 || candidates.full()) {
         break;
       }
       candidates.push_back(static_cast<SwapSlot>(addr));
@@ -85,10 +86,10 @@ std::vector<SwapSlot> GhbPrefetcher::OnFault(Pid pid, SwapSlot slot) {
     ++chains;
   }
   // Dedup while preserving order.
-  std::vector<SwapSlot> unique;
+  CandidateVec unique;
   for (SwapSlot s : candidates) {
-    if (std::find(unique.begin(), unique.end(), s) == unique.end() &&
-        s != slot) {
+    if (s != slot &&
+        std::find(unique.begin(), unique.end(), s) == unique.end()) {
       unique.push_back(s);
     }
   }

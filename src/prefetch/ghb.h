@@ -12,9 +12,9 @@
 #define LEAP_SRC_PREFETCH_GHB_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "src/container/flat_map.h"
 #include "src/prefetch/prefetcher.h"
 
 namespace leap {
@@ -29,7 +29,7 @@ class GhbPrefetcher : public Prefetcher {
  public:
   explicit GhbPrefetcher(const GhbConfig& config = GhbConfig());
 
-  std::vector<SwapSlot> OnFault(Pid pid, SwapSlot slot) override;
+  CandidateVec OnFault(Pid pid, SwapSlot slot) override;
   void OnPrefetchHit(Pid, SwapSlot) override {}
   std::string name() const override { return "ghb"; }
 
@@ -51,9 +51,9 @@ class GhbPrefetcher : public Prefetcher {
   std::vector<Entry> buffer_;  // circular
   size_t head_ = 0;
   bool full_ = false;
-  std::unordered_map<uint64_t, size_t> index_;  // signature -> newest pos
-  std::unordered_map<Pid, SwapSlot> last_addr_;
-  std::unordered_map<Pid, PageDelta> last_delta_;
+  FlatMap<uint64_t, size_t> index_;  // signature -> newest pos
+  FlatMap<Pid, SwapSlot> last_addr_;
+  FlatMap<Pid, PageDelta> last_delta_;
 };
 
 }  // namespace leap

@@ -13,7 +13,7 @@ class LeapAdapter : public Prefetcher {
   explicit LeapAdapter(const LeapParams& params = LeapParams())
       : tracker_(params) {}
 
-  std::vector<SwapSlot> OnFault(Pid pid, SwapSlot slot) override {
+  CandidateVec OnFault(Pid pid, SwapSlot slot) override {
     last_decision_ = tracker_.OnFault(pid, slot);
     return last_decision_.pages;
   }

@@ -2,9 +2,8 @@
 
 namespace leap {
 
-std::vector<SwapSlot> NextNLinePrefetcher::OnFault(Pid, SwapSlot slot) {
-  std::vector<SwapSlot> pages;
-  pages.reserve(n_);
+CandidateVec NextNLinePrefetcher::OnFault(Pid, SwapSlot slot) {
+  CandidateVec pages;
   for (size_t i = 1; i <= n_; ++i) {
     pages.push_back(slot + i);
   }

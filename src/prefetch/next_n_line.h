@@ -10,9 +10,10 @@ namespace leap {
 
 class NextNLinePrefetcher : public Prefetcher {
  public:
-  explicit NextNLinePrefetcher(size_t n = 8) : n_(n) {}
+  explicit NextNLinePrefetcher(size_t n = 8)
+      : n_(n < kMaxPrefetchCandidates ? n : kMaxPrefetchCandidates) {}
 
-  std::vector<SwapSlot> OnFault(Pid pid, SwapSlot slot) override;
+  CandidateVec OnFault(Pid pid, SwapSlot slot) override;
   void OnPrefetchHit(Pid, SwapSlot) override {}
   std::string name() const override { return "next-n-line"; }
 

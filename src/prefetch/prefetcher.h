@@ -5,7 +5,6 @@
 #define LEAP_SRC_PREFETCH_PREFETCHER_H_
 
 #include <string>
-#include <vector>
 
 #include "src/sim/types.h"
 
@@ -17,8 +16,10 @@ class Prefetcher {
 
   // Called on every cache MISS (the swapin_readahead position in the fault
   // path). Returns backing-store offsets to prefetch alongside the demand
-  // page; never includes `slot` itself.
-  virtual std::vector<SwapSlot> OnFault(Pid pid, SwapSlot slot) = 0;
+  // page; never includes `slot` itself. The result is a fixed-capacity
+  // inline vector (no heap allocation); implementations clamp their
+  // aggressiveness knobs to kMaxPrefetchCandidates.
+  virtual CandidateVec OnFault(Pid pid, SwapSlot slot) = 0;
 
   // Called on every remote access served from the page cache. Leap's page
   // access tracker hooks do_swap_page, so its delta history sees hits too
@@ -34,7 +35,7 @@ class Prefetcher {
 // Null prefetcher: demand paging only.
 class NoPrefetcher : public Prefetcher {
  public:
-  std::vector<SwapSlot> OnFault(Pid, SwapSlot) override { return {}; }
+  CandidateVec OnFault(Pid, SwapSlot) override { return {}; }
   void OnPrefetchHit(Pid, SwapSlot) override {}
   std::string name() const override { return "none"; }
 };

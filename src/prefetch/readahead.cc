@@ -4,7 +4,7 @@
 
 namespace leap {
 
-std::vector<SwapSlot> ReadAheadPrefetcher::OnFault(Pid pid, SwapSlot slot) {
+CandidateVec ReadAheadPrefetcher::OnFault(Pid pid, SwapSlot slot) {
   State& s = states_[pid];
 
   if (s.last == kInvalidSlot) {
@@ -31,8 +31,7 @@ std::vector<SwapSlot> ReadAheadPrefetcher::OnFault(Pid pid, SwapSlot slot) {
 
   // Aligned block containing the fault (kernel cluster alignment).
   const SwapSlot base = slot - slot % s.window;
-  std::vector<SwapSlot> pages;
-  pages.reserve(s.window);
+  CandidateVec pages;
   for (size_t i = 0; i < s.window; ++i) {
     const SwapSlot candidate = base + i;
     if (candidate != slot) {

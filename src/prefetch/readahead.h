@@ -12,18 +12,29 @@
 #ifndef LEAP_SRC_PREFETCH_READAHEAD_H_
 #define LEAP_SRC_PREFETCH_READAHEAD_H_
 
-#include <unordered_map>
-
+#include "src/container/flat_map.h"
 #include "src/prefetch/prefetcher.h"
 
 namespace leap {
 
 class ReadAheadPrefetcher : public Prefetcher {
  public:
+  // Both windows are clamped to the candidate cap, and max >= min, so a
+  // generated cluster always fits the fixed-capacity CandidateVec and the
+  // window clamp in OnFault has a valid [lo, hi] range.
   ReadAheadPrefetcher(size_t min_window = 2, size_t max_window = 8)
-      : min_window_(min_window), max_window_(max_window) {}
+      : min_window_(min_window < kMaxPrefetchCandidates
+                        ? min_window
+                        : kMaxPrefetchCandidates),
+        max_window_(max_window < kMaxPrefetchCandidates
+                        ? max_window
+                        : kMaxPrefetchCandidates) {
+    if (max_window_ < min_window_) {
+      max_window_ = min_window_;
+    }
+  }
 
-  std::vector<SwapSlot> OnFault(Pid pid, SwapSlot slot) override;
+  CandidateVec OnFault(Pid pid, SwapSlot slot) override;
   void OnPrefetchHit(Pid pid, SwapSlot slot) override;
   std::string name() const override { return "read-ahead"; }
 
@@ -36,7 +47,7 @@ class ReadAheadPrefetcher : public Prefetcher {
 
   size_t min_window_;
   size_t max_window_;
-  std::unordered_map<Pid, State> states_;
+  FlatMap<Pid, State> states_;
 };
 
 }  // namespace leap

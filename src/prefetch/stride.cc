@@ -4,9 +4,9 @@
 
 namespace leap {
 
-std::vector<SwapSlot> StridePrefetcher::OnFault(Pid pid, SwapSlot slot) {
+CandidateVec StridePrefetcher::OnFault(Pid pid, SwapSlot slot) {
   Stream& s = streams_[pid];
-  std::vector<SwapSlot> pages;
+  CandidateVec pages;
 
   if (s.last != kInvalidSlot) {
     const PageDelta d =

@@ -6,17 +6,18 @@
 #ifndef LEAP_SRC_PREFETCH_STRIDE_H_
 #define LEAP_SRC_PREFETCH_STRIDE_H_
 
-#include <unordered_map>
-
+#include "src/container/flat_map.h"
 #include "src/prefetch/prefetcher.h"
 
 namespace leap {
 
 class StridePrefetcher : public Prefetcher {
  public:
-  explicit StridePrefetcher(size_t max_depth = 8) : max_depth_(max_depth) {}
+  explicit StridePrefetcher(size_t max_depth = 8)
+      : max_depth_(max_depth < kMaxPrefetchCandidates ? max_depth
+                                                      : kMaxPrefetchCandidates) {}
 
-  std::vector<SwapSlot> OnFault(Pid pid, SwapSlot slot) override;
+  CandidateVec OnFault(Pid pid, SwapSlot slot) override;
   void OnPrefetchHit(Pid pid, SwapSlot slot) override;
   std::string name() const override { return "stride"; }
 
@@ -30,7 +31,7 @@ class StridePrefetcher : public Prefetcher {
   };
 
   size_t max_depth_;
-  std::unordered_map<Pid, Stream> streams_;
+  FlatMap<Pid, Stream> streams_;
 };
 
 }  // namespace leap

@@ -61,6 +61,7 @@ Machine::Machine(const MachineConfig& config)
     data_path_ = std::make_unique<LeapDataPath>(config_.leap_path, store_);
   }
   prefetcher_ = MakePrefetcher(config_);
+  kswapd_scratch_.reserve(config_.kswapd_scan_batch);
   ScheduleKswapd(config_.kswapd_period_ns);
 }
 
@@ -73,13 +74,13 @@ Pid Machine::CreateProcess(size_t cgroup_limit_pages) {
 }
 
 size_t Machine::resident_pages(Pid pid) const {
-  auto it = processes_.find(pid);
-  return it == processes_.end() ? 0 : it->second->table.resident_pages();
+  const auto* state = processes_.Find(pid);
+  return state == nullptr ? 0 : (*state)->table.resident_pages();
 }
 
 bool Machine::IsResident(Pid pid, Vpn vpn) const {
-  auto it = processes_.find(pid);
-  return it != processes_.end() && it->second->table.IsPresent(vpn);
+  const auto* state = processes_.Find(pid);
+  return state != nullptr && (*state)->table.IsPresent(vpn);
 }
 
 void Machine::DrainEvents(SimTimeNs now) {
@@ -98,7 +99,8 @@ void Machine::KswapdTick(SimTimeNs now) {
   // background cleanup). Eager mode never accumulates these.
   size_t budget = config_.kswapd_scan_batch;
   if (stale_count_ > 0) {
-    std::vector<SwapSlot> to_free;
+    std::vector<SwapSlot>& to_free = kswapd_scratch_;
+    to_free.clear();
     cache_.ForEach([&](SwapSlot slot, const CacheEntry& entry) {
       if (entry.first_hit_at != 0 && to_free.size() < budget) {
         to_free.push_back(slot);
@@ -122,7 +124,8 @@ void Machine::KswapdTick(SimTimeNs now) {
   // gone unreferenced for prefetch_ttl_ns have cycled to the inactive tail
   // and are reclaimed as pollution.
   if (config_.prefetch_ttl_ns != 0 && budget > 0) {
-    std::vector<SwapSlot> expired;
+    std::vector<SwapSlot>& expired = kswapd_scratch_;
+    expired.clear();
     cache_.ForEach([&](SwapSlot slot, const CacheEntry& entry) {
       if (entry.prefetched && entry.first_hit_at == 0 &&
           now > entry.added_at + config_.prefetch_ttl_ns &&
@@ -357,14 +360,13 @@ void Machine::EnforcePrefetchCacheLimit(size_t incoming, SimTimeNs now) {
 
 // Drops candidates that point at the demand page, past the end of the
 // backing store, or at already-cached slots.
-std::vector<SwapSlot> Machine::FilterPrefetchCandidates(
-    const std::vector<SwapSlot>& candidates, SwapSlot demand_slot) const {
+CandidateVec Machine::FilterPrefetchCandidates(const CandidateVec& candidates,
+                                               SwapSlot demand_slot) const {
   // Readahead is bounded by the device: the swap area's high-water mark, or
   // the file size (isize) in VFS mode.
   const SwapSlot max_slot =
       config_.vfs_mode ? vfs_file_pages_ : swap_.high_water();
-  std::vector<SwapSlot> batch;
-  batch.reserve(candidates.size());
+  CandidateVec batch;
   for (SwapSlot slot : candidates) {
     if (slot == demand_slot || slot >= max_slot) {
       continue;
@@ -377,9 +379,8 @@ std::vector<SwapSlot> Machine::FilterPrefetchCandidates(
   return batch;
 }
 
-void Machine::InsertPrefetchEntries(Pid pid,
-                                    const std::vector<SwapSlot>& slots,
-                                    const std::vector<SimTimeNs>& ready_at,
+void Machine::InsertPrefetchEntries(Pid pid, std::span<const SwapSlot> slots,
+                                    std::span<const SimTimeNs> ready_at,
                                     SimTimeNs now) {
   for (size_t i = 0; i < slots.size(); ++i) {
     Pfn pfn = kInvalidPfn;
@@ -402,7 +403,7 @@ void Machine::InsertPrefetchEntries(Pid pid,
   // memcg semantics: readahead pages are charged to the faulting cgroup,
   // so over-fetching displaces the process's own resident pages - the
   // "cache pollution occupies valuable cache space" cost (section 2.3).
-  if (!config_.vfs_mode && processes_.count(pid) != 0) {
+  if (!config_.vfs_mode && processes_.Contains(pid)) {
     ProcessState& proc = Proc(pid);
     proc.cgroup.Charge(slots.size());
     while (proc.cgroup.OverLimit()) {
@@ -420,15 +421,14 @@ void Machine::UnchargeCacheEntry(const CacheEntry& entry) {
       entry.first_hit_at != 0) {
     return;
   }
-  auto it = processes_.find(entry.pid);
-  if (it != processes_.end()) {
-    it->second->cgroup.Uncharge();
+  if (auto* state = processes_.Find(entry.pid)) {
+    (*state)->cgroup.Uncharge();
   }
 }
 
 SimTimeNs Machine::IssueMiss(Pid pid, SwapSlot demand_slot, SimTimeNs now,
                              SimTimeNs* cpu_cost, Pfn* demand_pfn) {
-  const std::vector<SwapSlot> prefetches = FilterPrefetchCandidates(
+  const CandidateVec prefetches = FilterPrefetchCandidates(
       prefetcher_->OnFault(pid, demand_slot), demand_slot);
   EnforcePrefetchCacheLimit(prefetches.size(), now);
 
@@ -439,14 +439,19 @@ SimTimeNs Machine::IssueMiss(Pid pid, SwapSlot demand_slot, SimTimeNs now,
 
   // One submission: the demand page plus its readahead pages form a single
   // plug batch on the default path (merged + elevator-ordered together)
-  // and a train of asynchronous per-page ops on the Leap path.
-  std::vector<SwapSlot> batch;
-  batch.reserve(prefetches.size() + 1);
-  batch.push_back(demand_slot);
-  batch.insert(batch.end(), prefetches.begin(), prefetches.end());
-  std::vector<SimTimeNs> ready(batch.size(), 0);
-  const SimTimeNs demand_ready =
-      data_path_->ReadPages(batch, now + *cpu_cost, rng_, ready);
+  // and a train of asynchronous per-page ops on the Leap path. Batch and
+  // completion times live in fixed inline storage: a miss allocates
+  // nothing on this path.
+  InlineVec<SwapSlot, kMaxPrefetchCandidates + 1> batch;
+  batch.push_back(demand_slot);  // index 0 = demand page, by convention
+  for (SwapSlot slot : prefetches) {
+    batch.push_back(slot);
+  }
+  InlineVec<SimTimeNs, kMaxPrefetchCandidates + 1> ready;
+  ready.resize(batch.size());
+  const SimTimeNs demand_ready = data_path_->ReadPages(
+      std::span<const SwapSlot>(batch.data(), batch.size()), now + *cpu_cost,
+      rng_, std::span<SimTimeNs>(ready.data(), ready.size()));
 
   counters_.Add(counter::kDemandReads);
   counters_.Add(counter::kCacheAdds, batch.size());
@@ -454,8 +459,8 @@ SimTimeNs Machine::IssueMiss(Pid pid, SwapSlot demand_slot, SimTimeNs now,
     counters_.Add(counter::kRemoteReads, batch.size());
   }
   InsertPrefetchEntries(
-      pid, prefetches,
-      std::vector<SimTimeNs>(ready.begin() + 1, ready.end()), now);
+      pid, std::span<const SwapSlot>(prefetches.data(), prefetches.size()),
+      std::span<const SimTimeNs>(ready.data() + 1, ready.size() - 1), now);
 
   // The demand page becomes a (consumed-on-arrival) cache entry: in lazy
   // mode its carcass lingers for kswapd; in eager mode it is freed at map
@@ -658,17 +663,20 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
   }
 
   counters_.Add(counter::kCacheMisses);
-  // Demand read + prefetches.
-  std::vector<SwapSlot> batch = {slot};
+  // Demand read + prefetches (fixed inline storage, as in IssueMiss).
+  InlineVec<SwapSlot, kMaxPrefetchCandidates + 1> batch;
+  batch.push_back(slot);  // index 0 = demand page, by convention
   for (SwapSlot p :
        FilterPrefetchCandidates(prefetcher_->OnFault(pid, slot), slot)) {
     batch.push_back(p);
   }
   Pfn demand_pfn = kInvalidPfn;
   const SimTimeNs cpu = AllocateFrame(now, &demand_pfn);
-  std::vector<SimTimeNs> ready(batch.size(), 0);
-  const SimTimeNs demand_ready =
-      data_path_->ReadPages(batch, now + cpu, rng_, ready);
+  InlineVec<SimTimeNs, kMaxPrefetchCandidates + 1> ready;
+  ready.resize(batch.size());
+  const SimTimeNs demand_ready = data_path_->ReadPages(
+      std::span<const SwapSlot>(batch.data(), batch.size()), now + cpu, rng_,
+      std::span<SimTimeNs>(ready.data(), ready.size()));
   counters_.Add(counter::kDemandReads);
   counters_.Add(counter::kCacheAdds, batch.size());
   if (config_.medium == Medium::kRemote) {

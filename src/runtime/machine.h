@@ -7,9 +7,11 @@
 #define LEAP_SRC_RUNTIME_MACHINE_H_
 
 #include <memory>
-#include <unordered_map>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "src/container/flat_map.h"
 #include "src/core/leap.h"
 #include "src/mem/cgroup.h"
 #include "src/mem/frame_pool.h"
@@ -144,7 +146,16 @@ class Machine {
   void ScheduleKswapd(SimTimeNs at);
   void KswapdTick(SimTimeNs now);
 
-  ProcessState& Proc(Pid pid) { return *processes_.at(pid); }
+  ProcessState& Proc(Pid pid) {
+    auto* state = processes_.Find(pid);
+    if (state == nullptr) {
+      // Defined failure for unknown pids (the pre-flat-map behavior of
+      // unordered_map::at); the branch is perfectly predicted on the
+      // hot path.
+      throw std::out_of_range("leap::Machine: unknown pid");
+    }
+    return **state;
+  }
 
   // Allocates a frame, reclaiming if necessary; returns the CPU cost and
   // sets `*pfn`. Reclaim preference: unconsumed cache victims, then the
@@ -176,10 +187,12 @@ class Machine {
   SimTimeNs IssueMiss(Pid pid, SwapSlot demand_slot, SimTimeNs now,
                       SimTimeNs* cpu_cost, Pfn* demand_pfn);
 
-  std::vector<SwapSlot> FilterPrefetchCandidates(
-      const std::vector<SwapSlot>& candidates, SwapSlot demand_slot) const;
-  void InsertPrefetchEntries(Pid pid, const std::vector<SwapSlot>& slots,
-                             const std::vector<SimTimeNs>& ready_at,
+  // Filters in place and returns by value: CandidateVec is fixed-capacity
+  // inline storage, so the whole candidate pipeline is allocation-free.
+  CandidateVec FilterPrefetchCandidates(const CandidateVec& candidates,
+                                        SwapSlot demand_slot) const;
+  void InsertPrefetchEntries(Pid pid, std::span<const SwapSlot> slots,
+                             std::span<const SimTimeNs> ready_at,
                              SimTimeNs now);
   void UnchargeCacheEntry(const CacheEntry& entry);
 
@@ -210,8 +223,13 @@ class Machine {
   std::unique_ptr<DataPath> data_path_;
   std::unique_ptr<Prefetcher> prefetcher_;
 
-  std::unordered_map<Pid, std::unique_ptr<ProcessState>> processes_;
+  // unique_ptr values keep ProcessState addresses stable across map growth
+  // (Proc() references are held across container mutations).
+  FlatMap<Pid, std::unique_ptr<ProcessState>> processes_;
   Pid next_pid_ = 1;
+  // kswapd scan scratch, reused every tick so background reclaim stays
+  // allocation-free (bounded by kswapd_scan_batch).
+  std::vector<SwapSlot> kswapd_scratch_;
   // High-water mark of file pages seen in VFS mode (the simulated isize).
   SwapSlot vfs_file_pages_ = 0;
 

@@ -1,33 +1,96 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace leap {
 
+uint32_t EventQueue::AcquireNode(Callback cb) {
+  if (free_nodes_.empty()) {
+    const uint32_t node = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(std::move(cb));
+    return node;
+  }
+  const uint32_t node = free_nodes_.back();
+  free_nodes_.pop_back();
+  nodes_[node] = std::move(cb);
+  return node;
+}
+
+void EventQueue::ReleaseNode(uint32_t node) { free_nodes_.push_back(node); }
+
+void EventQueue::SiftUp(size_t i) {
+  while (i != 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!Earlier(heap_[i], heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    const size_t last_child = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (Earlier(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Earlier(heap_[best], heap_[i])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void EventQueue::PopTop() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
+  }
+}
+
 void EventQueue::ScheduleAt(SimTimeNs when, Callback cb) {
-  heap_.push(Event{when, next_seq_++, std::move(cb)});
+  const uint32_t node = AcquireNode(std::move(cb));
+  heap_.push_back(HeapEntry{when, next_seq_++, node});
+  SiftUp(heap_.size() - 1);
 }
 
 size_t EventQueue::RunUntil(SimTimeNs until) {
   size_t ran = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
-    // Copy out before pop: the callback may schedule further events.
-    Event ev = heap_.top();
-    heap_.pop();
-    ev.cb(ev.when);
+  while (!heap_.empty() && heap_[0].when <= until) {
+    const HeapEntry top = heap_[0];
+    PopTop();
+    // Move the callable out and recycle its node before invoking: the
+    // callback may schedule further events (and reuse this very node).
+    Callback cb = std::move(nodes_[top.node]);
+    ReleaseNode(top.node);
+    cb(top.when);
     ++ran;
   }
   return ran;
 }
 
 SimTimeNs EventQueue::NextEventTime() const {
-  return heap_.empty() ? kNoEvent : heap_.top().when;
+  return heap_.empty() ? kNoEvent : heap_[0].when;
 }
 
 void EventQueue::Clear() {
-  while (!heap_.empty()) {
-    heap_.pop();
+  for (const HeapEntry& entry : heap_) {
+    nodes_[entry.node] = Callback();  // destroy the callable, keep the slot
+    ReleaseNode(entry.node);
   }
+  heap_.clear();
   next_seq_ = 0;
 }
 

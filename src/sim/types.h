@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/container/inline_vec.h"
+
 namespace leap {
 
 // Simulated time, in nanoseconds since simulation start.
@@ -43,6 +45,17 @@ using PageDelta = int64_t;
 inline size_t PagesForBytes(size_t bytes) {
   return (bytes + kPageSize - 1) / kPageSize;
 }
+
+// Hard cap on prefetch candidates generated for a single fault, across all
+// prefetchers. Window/degree knobs are clamped to this at construction, so
+// per-fault candidate lists fit in fixed scratch storage and a prefetch
+// decision never allocates. The paper's PWsize_max is 8; the largest value
+// any bench sweeps is 32.
+inline constexpr size_t kMaxPrefetchCandidates = 64;
+
+// One fault's prefetch candidate list (demand page excluded): fixed-
+// capacity, stack-allocated, cheap to return by value.
+using CandidateVec = InlineVec<SwapSlot, kMaxPrefetchCandidates>;
 
 }  // namespace leap
 

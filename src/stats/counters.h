@@ -2,57 +2,120 @@
 //
 // The counter names mirror the quantities the paper's evaluation reports:
 // cache adds, cache hits/misses, prefetched-page hits (coverage), etc.
+//
+// Counters are identified by a dense enum and stored in a flat array: a
+// bump on the access path is one indexed add, with no string hashing, no
+// map lookup, and no allocation (the old string-keyed std::map allocated a
+// node per counter and a std::string per bump for long names). Names only
+// materialize in the cold reporting path (Name / values()).
 #ifndef LEAP_SRC_STATS_COUNTERS_H_
 #define LEAP_SRC_STATS_COUNTERS_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
 
 namespace leap {
 
+enum class CounterId : uint8_t {
+  kPageFaults,
+  kCacheHits,
+  kCacheMisses,
+  kPrefetchHits,
+  kPrefetchWaitHits,
+  kCacheAdds,
+  kPrefetchIssued,
+  kPrefetchUnused,
+  kDemandReads,
+  kWritebacks,
+  kEvictions,
+  kEagerFrees,
+  kLruScans,
+  kRemoteReads,
+  kRemoteWrites,
+  kCount,
+};
+
+inline constexpr size_t kCounterCount = static_cast<size_t>(CounterId::kCount);
+
+// Reporting name of a counter (stable across versions; the evaluation
+// scripts and EXPERIMENTS.md key off these strings).
+constexpr const char* CounterName(CounterId id) {
+  switch (id) {
+    case CounterId::kPageFaults: return "page_faults";
+    case CounterId::kCacheHits: return "cache_hits";
+    case CounterId::kCacheMisses: return "cache_misses";
+    case CounterId::kPrefetchHits: return "prefetch_hits";
+    case CounterId::kPrefetchWaitHits: return "prefetch_wait_hits";
+    case CounterId::kCacheAdds: return "cache_adds";
+    case CounterId::kPrefetchIssued: return "prefetch_issued";
+    case CounterId::kPrefetchUnused: return "prefetch_unused_evicted";
+    case CounterId::kDemandReads: return "demand_reads";
+    case CounterId::kWritebacks: return "writebacks";
+    case CounterId::kEvictions: return "evictions";
+    case CounterId::kEagerFrees: return "eager_frees";
+    case CounterId::kLruScans: return "lru_pages_scanned";
+    case CounterId::kRemoteReads: return "remote_reads";
+    case CounterId::kRemoteWrites: return "remote_writes";
+    case CounterId::kCount: break;
+  }
+  return "unknown";
+}
+
 class Counters {
  public:
-  void Add(const std::string& name, uint64_t delta = 1) {
-    values_[name] += delta;
+  void Add(CounterId id, uint64_t delta = 1) {
+    values_[static_cast<size_t>(id)] += delta;
   }
 
-  uint64_t Get(const std::string& name) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? 0 : it->second;
+  uint64_t Get(CounterId id) const {
+    return values_[static_cast<size_t>(id)];
   }
 
   // Ratio helper; returns 0 when the denominator counter is 0.
-  double Ratio(const std::string& num, const std::string& den) const {
+  double Ratio(CounterId num, CounterId den) const {
     const uint64_t d = Get(den);
-    return d == 0 ? 0.0 : static_cast<double>(Get(num)) / static_cast<double>(d);
+    return d == 0 ? 0.0
+                  : static_cast<double>(Get(num)) / static_cast<double>(d);
   }
 
-  const std::map<std::string, uint64_t>& values() const { return values_; }
+  // Cold reporting view: name -> value for every counter that has fired.
+  std::map<std::string, uint64_t> values() const {
+    std::map<std::string, uint64_t> out;
+    for (size_t i = 0; i < kCounterCount; ++i) {
+      if (values_[i] != 0) {
+        out.emplace(CounterName(static_cast<CounterId>(i)), values_[i]);
+      }
+    }
+    return out;
+  }
 
-  void Reset() { values_.clear(); }
+  void Reset() { values_.fill(0); }
 
  private:
-  std::map<std::string, uint64_t> values_;
+  std::array<uint64_t, kCounterCount> values_{};
 };
 
-// Canonical counter names used across the paging pipeline.
+// Canonical counter ids used across the paging pipeline (kept as the
+// historical `counter::kFoo` spellings used throughout the codebase).
 namespace counter {
-inline constexpr char kPageFaults[] = "page_faults";
-inline constexpr char kCacheHits[] = "cache_hits";
-inline constexpr char kCacheMisses[] = "cache_misses";
-inline constexpr char kPrefetchHits[] = "prefetch_hits";
-inline constexpr char kPrefetchWaitHits[] = "prefetch_wait_hits";
-inline constexpr char kCacheAdds[] = "cache_adds";
-inline constexpr char kPrefetchIssued[] = "prefetch_issued";
-inline constexpr char kPrefetchUnused[] = "prefetch_unused_evicted";
-inline constexpr char kDemandReads[] = "demand_reads";
-inline constexpr char kWritebacks[] = "writebacks";
-inline constexpr char kEvictions[] = "evictions";
-inline constexpr char kEagerFrees[] = "eager_frees";
-inline constexpr char kLruScans[] = "lru_pages_scanned";
-inline constexpr char kRemoteReads[] = "remote_reads";
-inline constexpr char kRemoteWrites[] = "remote_writes";
+inline constexpr CounterId kPageFaults = CounterId::kPageFaults;
+inline constexpr CounterId kCacheHits = CounterId::kCacheHits;
+inline constexpr CounterId kCacheMisses = CounterId::kCacheMisses;
+inline constexpr CounterId kPrefetchHits = CounterId::kPrefetchHits;
+inline constexpr CounterId kPrefetchWaitHits = CounterId::kPrefetchWaitHits;
+inline constexpr CounterId kCacheAdds = CounterId::kCacheAdds;
+inline constexpr CounterId kPrefetchIssued = CounterId::kPrefetchIssued;
+inline constexpr CounterId kPrefetchUnused = CounterId::kPrefetchUnused;
+inline constexpr CounterId kDemandReads = CounterId::kDemandReads;
+inline constexpr CounterId kWritebacks = CounterId::kWritebacks;
+inline constexpr CounterId kEvictions = CounterId::kEvictions;
+inline constexpr CounterId kEagerFrees = CounterId::kEagerFrees;
+inline constexpr CounterId kLruScans = CounterId::kLruScans;
+inline constexpr CounterId kRemoteReads = CounterId::kRemoteReads;
+inline constexpr CounterId kRemoteWrites = CounterId::kRemoteWrites;
 }  // namespace counter
 
 }  // namespace leap

@@ -1,0 +1,223 @@
+// Regression guards for the flat-container / pooled-event-queue hot path:
+//
+//  1. Determinism: the same MachineConfig (fixed seed) run twice produces
+//     bit-identical counters and latency histograms, across both data
+//     paths, every prefetcher, and both eviction policies. The flat
+//     containers were chosen so iteration order is a pure function of the
+//     operation sequence; this test is the tripwire for anything (hash
+//     randomization, pointer-keyed ordering, uninitialized reads) that
+//     would break reproducibility.
+//
+//  2. Zero allocation: steady-state Machine::Access performs no heap
+//     allocation - local hits and cache hits always, and misses once the
+//     scratch buffers and table capacities have warmed up. Verified with a
+//     global operator-new hook.
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/app_runner.h"
+#include "src/runtime/machine.h"
+#include "src/runtime/presets.h"
+#include "src/workload/patterns.h"
+
+// --- global allocation hook -------------------------------------------------
+
+namespace {
+// Not atomic: the simulator is single-threaded, and gtest does not allocate
+// concurrently with the measured region.
+size_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace leap {
+namespace {
+
+constexpr size_t kFootprint = 4096;
+constexpr size_t kFrames = 1 << 14;
+constexpr size_t kAccesses = 50000;
+
+struct RunFingerprint {
+  SimTimeNs completion = 0;
+  std::map<std::string, uint64_t> counters;
+  uint64_t remote_count = 0;
+  double remote_sum = 0.0;
+  uint64_t remote_p50 = 0;
+  uint64_t remote_p99 = 0;
+  uint64_t miss_count = 0;
+  double miss_sum = 0.0;
+  uint64_t evict_wait_count = 0;
+  double evict_wait_sum = 0.0;
+  uint64_t timeliness_count = 0;
+  double timeliness_sum = 0.0;
+  uint64_t alloc_count = 0;
+  double alloc_sum = 0.0;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+// One full run: warm-up pass, then `kAccesses` of the given pattern.
+RunFingerprint RunOnce(const MachineConfig& config, int pattern) {
+  Machine machine(config);
+  const Pid pid = machine.CreateProcess(kFootprint / 2);
+  const SimTimeNs warm_end = WarmUp(machine, pid, kFootprint);
+  RunConfig rc;
+  rc.total_accesses = kAccesses;
+  rc.start_time_ns = warm_end + 10 * kNsPerMs;
+  RunResult rr;
+  if (pattern == 0) {
+    SequentialStream stream(kFootprint, 750);
+    rr = RunApp(machine, pid, stream, rc);
+  } else if (pattern == 1) {
+    StrideStream stream(kFootprint, 10, 750);
+    rr = RunApp(machine, pid, stream, rc);
+  } else {
+    RandomStream stream(kFootprint, 750);
+    rr = RunApp(machine, pid, stream, rc);
+  }
+
+  RunFingerprint fp;
+  fp.completion = rr.completion_ns;
+  fp.counters = machine.counters().values();
+  fp.remote_count = rr.remote_access_latency.count();
+  fp.remote_sum = rr.remote_access_latency.Sum();
+  fp.remote_p50 = rr.remote_access_latency.Percentile(0.5);
+  fp.remote_p99 = rr.remote_access_latency.Percentile(0.99);
+  fp.miss_count = rr.miss_latency.count();
+  fp.miss_sum = rr.miss_latency.Sum();
+  fp.evict_wait_count = machine.eviction_wait_hist().count();
+  fp.evict_wait_sum = machine.eviction_wait_hist().Sum();
+  fp.timeliness_count = machine.timeliness_hist().count();
+  fp.timeliness_sum = machine.timeliness_hist().Sum();
+  fp.alloc_count = machine.alloc_hist().count();
+  fp.alloc_sum = machine.alloc_hist().Sum();
+  return fp;
+}
+
+void ExpectSameTwice(const MachineConfig& config, int pattern,
+                     const char* label) {
+  const RunFingerprint first = RunOnce(config, pattern);
+  const RunFingerprint second = RunOnce(config, pattern);
+  EXPECT_EQ(first.counters, second.counters) << label;
+  EXPECT_TRUE(first == second) << label << ": non-counter state diverged";
+  // A run that did nothing would be vacuously deterministic.
+  EXPECT_GT(first.counters.at("page_faults"), 0u) << label;
+}
+
+TEST(Determinism, LeapStackAllPatterns) {
+  for (int pattern = 0; pattern < 3; ++pattern) {
+    ExpectSameTwice(LeapVmmConfig(kFrames, 42), pattern, "leap-vmm");
+  }
+}
+
+TEST(Determinism, DefaultPathEveryPrefetcher) {
+  for (PrefetchKind kind :
+       {PrefetchKind::kNone, PrefetchKind::kNextNLine, PrefetchKind::kStride,
+        PrefetchKind::kReadAhead, PrefetchKind::kGhb, PrefetchKind::kLeap}) {
+    ExpectSameTwice(DefaultVmmConfig(kind, kFrames, 42), /*pattern=*/1,
+                    "default-vmm prefetcher variant");
+  }
+}
+
+TEST(Determinism, LazyVsEagerEvictionEachDeterministic) {
+  MachineConfig lazy = LeapVmmConfig(kFrames, 7);
+  lazy.eviction = EvictionKind::kLazyLru;
+  ExpectSameTwice(lazy, /*pattern=*/2, "leap-vmm lazy");
+  MachineConfig eager = LeapVmmConfig(kFrames, 7);
+  eager.eviction = EvictionKind::kEagerLeap;
+  ExpectSameTwice(eager, /*pattern=*/2, "leap-vmm eager");
+}
+
+TEST(Determinism, VfsModeBothPaths) {
+  ExpectSameTwice(LeapVfsConfig(kFrames, kFootprint, 42), /*pattern=*/0,
+                  "leap-vfs");
+  ExpectSameTwice(
+      DefaultVfsConfig(PrefetchKind::kReadAhead, kFrames, kFootprint, 42),
+      /*pattern=*/0, "default-vfs");
+}
+
+TEST(Determinism, DiskSwapPath) {
+  ExpectSameTwice(
+      DiskSwapConfig(Medium::kSsd, PrefetchKind::kReadAhead, kFrames, 42),
+      /*pattern=*/0, "disk-ssd");
+}
+
+// --- zero-allocation steady state -------------------------------------------
+
+TEST(ZeroAlloc, SteadyStateAccessDoesNotAllocate) {
+  Machine machine(LeapVmmConfig(kFrames, 42));
+  const Pid pid = machine.CreateProcess(kFootprint / 2);
+  SimTimeNs now = WarmUp(machine, pid, kFootprint) + 10 * kNsPerMs;
+
+  // Reach steady state: several full sweeps so every container (page
+  // tables, swap maps, cache, event pool, block-layer scratch) has grown to
+  // its working capacity.
+  SequentialStream stream(kFootprint, 750);
+  Rng rng(7);
+  for (size_t i = 0; i < 4 * kFootprint; ++i) {
+    const MemOp op = stream.Next(rng);
+    now += op.think_ns;
+    now += machine.Access(pid, op.vpn, op.write, now).latency;
+  }
+
+  size_t hit_allocs = 0;
+  size_t hits = 0;
+  size_t miss_allocs = 0;
+  size_t misses = 0;
+  size_t local_allocs = 0;
+  size_t locals = 0;
+  for (size_t i = 0; i < 2 * kFootprint; ++i) {
+    const MemOp op = stream.Next(rng);
+    now += op.think_ns;
+    const size_t before = g_alloc_count;
+    const AccessResult result = machine.Access(pid, op.vpn, op.write, now);
+    const size_t delta = g_alloc_count - before;
+    now += result.latency;
+    switch (result.type) {
+      case AccessType::kLocalHit:
+        ++locals;
+        local_allocs += delta;
+        break;
+      case AccessType::kCacheHit:
+      case AccessType::kCacheWaitHit:
+        ++hits;
+        hit_allocs += delta;
+        break;
+      case AccessType::kMiss:
+        ++misses;
+        miss_allocs += delta;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // The workload must actually exercise the paths under test.
+  ASSERT_GT(hits, 0u);
+  ASSERT_GT(misses, 0u);
+
+  EXPECT_EQ(hit_allocs, 0u) << "cache-hit Access allocated";
+  EXPECT_EQ(local_allocs, 0u) << "local-hit Access allocated";
+  EXPECT_EQ(miss_allocs, 0u) << "steady-state miss Access allocated";
+}
+
+}  // namespace
+}  // namespace leap

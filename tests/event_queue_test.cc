@@ -87,5 +87,79 @@ TEST(EventQueue, ClearDropsPending) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, RunRecyclesNodesThroughThePool) {
+  EventQueue q;
+  // Schedule-and-drain in a loop: after the first round the pool supplies
+  // every node, so the pool never grows past the peak outstanding count.
+  for (int round = 0; round < 100; ++round) {
+    q.ScheduleAt(static_cast<SimTimeNs>(round), [](SimTimeNs) {});
+    q.ScheduleAt(static_cast<SimTimeNs>(round), [](SimTimeNs) {});
+    q.RunUntil(static_cast<SimTimeNs>(round));
+  }
+  EXPECT_LE(q.pool_capacity(), 2u);
+  EXPECT_EQ(q.free_pool_size(), q.pool_capacity());
+}
+
+TEST(EventQueue, ClearRecyclesNodes) {
+  EventQueue q;
+  for (int i = 0; i < 16; ++i) {
+    q.ScheduleAt(static_cast<SimTimeNs>(i), [](SimTimeNs) {});
+  }
+  const size_t pool = q.pool_capacity();
+  EXPECT_EQ(pool, 16u);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.free_pool_size(), pool) << "Clear must return nodes, not leak";
+  // Re-scheduling reuses recycled nodes instead of growing the pool.
+  for (int i = 0; i < 16; ++i) {
+    q.ScheduleAt(static_cast<SimTimeNs>(i), [](SimTimeNs) {});
+  }
+  EXPECT_EQ(q.pool_capacity(), pool);
+  EXPECT_EQ(q.free_pool_size(), 0u);
+}
+
+TEST(EventQueue, FifoTiesPreservedAcrossPoolReuse) {
+  EventQueue q;
+  std::vector<int> order;
+  // Populate and drain to seed the free pool in a scrambled order.
+  for (int i = 0; i < 8; ++i) {
+    q.ScheduleAt(static_cast<SimTimeNs>(i % 3), [](SimTimeNs) {});
+  }
+  q.RunUntil(10);
+  // Same-time events must still run in scheduling order even though their
+  // nodes come from the recycled pool.
+  for (int i = 0; i < 8; ++i) {
+    q.ScheduleAt(42, [&order, i](SimTimeNs) { order.push_back(i); });
+  }
+  q.RunUntil(42);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, InterleavedScheduleRunKeepsHeapOrder) {
+  // Stress the 4-ary heap: pseudo-random times, interleaved partial drains;
+  // observed run order must be globally non-decreasing in time.
+  EventQueue q;
+  std::vector<SimTimeNs> observed;
+  uint64_t state = 12345;
+  auto next_rand = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (state >> 33) % 1000;
+  };
+  SimTimeNs drained_until = 0;
+  for (int i = 0; i < 500; ++i) {
+    const SimTimeNs when = drained_until + next_rand();
+    q.ScheduleAt(when, [&observed](SimTimeNs now) { observed.push_back(now); });
+    if (i % 7 == 0) {
+      drained_until += 100;
+      q.RunUntil(drained_until);
+    }
+  }
+  q.RunUntil(EventQueue::kNoEvent - 1);
+  ASSERT_EQ(observed.size(), 500u);
+  for (size_t i = 1; i < observed.size(); ++i) {
+    EXPECT_LE(observed[i - 1], observed[i]);
+  }
+}
+
 }  // namespace
 }  // namespace leap

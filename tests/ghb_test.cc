@@ -43,7 +43,7 @@ TEST(Ghb, LearnsRepeatingDeltaSequence) {
 
 TEST(Ghb, SequentialStreamPredictsForward) {
   GhbPrefetcher p;
-  std::vector<SwapSlot> candidates;
+  CandidateVec candidates;
   for (Vpn a = 0; a < 32; ++a) {
     candidates = p.OnFault(1, a);
   }

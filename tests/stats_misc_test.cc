@@ -43,18 +43,29 @@ TEST(TextTable, HandlesRaggedRows) {
 
 TEST(Counters, AddAndGet) {
   Counters c;
-  EXPECT_EQ(c.Get("x"), 0u);
-  c.Add("x");
-  c.Add("x", 4);
-  EXPECT_EQ(c.Get("x"), 5u);
+  EXPECT_EQ(c.Get(counter::kCacheHits), 0u);
+  c.Add(counter::kCacheHits);
+  c.Add(counter::kCacheHits, 4);
+  EXPECT_EQ(c.Get(counter::kCacheHits), 5u);
 }
 
 TEST(Counters, RatioHandlesZeroDenominator) {
   Counters c;
-  EXPECT_EQ(c.Ratio("a", "b"), 0.0);
-  c.Add("a", 3);
-  c.Add("b", 4);
-  EXPECT_DOUBLE_EQ(c.Ratio("a", "b"), 0.75);
+  EXPECT_EQ(c.Ratio(counter::kPrefetchHits, counter::kPageFaults), 0.0);
+  c.Add(counter::kPrefetchHits, 3);
+  c.Add(counter::kPageFaults, 4);
+  EXPECT_DOUBLE_EQ(c.Ratio(counter::kPrefetchHits, counter::kPageFaults),
+                   0.75);
+}
+
+TEST(Counters, ValuesReportsOnlyTouchedCountersByName) {
+  Counters c;
+  c.Add(counter::kPageFaults, 7);
+  c.Add(counter::kPrefetchUnused, 2);
+  const auto values = c.values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values.at("page_faults"), 7u);
+  EXPECT_EQ(values.at("prefetch_unused_evicted"), 2u);
 }
 
 TEST(Counters, ResetClears) {
