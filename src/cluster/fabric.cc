@@ -1,0 +1,106 @@
+#include "src/cluster/fabric.h"
+
+#include <algorithm>
+
+namespace leap {
+
+Fabric::Fabric(const FabricConfig& config, size_t num_hosts, size_t num_nodes)
+    : config_(config),
+      base_(LatencyModel::Normal(config.base_mean_ns, config.base_stddev_ns,
+                                 config.base_min_ns)),
+      bytes_per_ns_(config.link_gbps / 8.0),
+      uplinks_(std::max<size_t>(1, num_hosts)),
+      downlinks_(std::max<size_t>(1, num_nodes)) {
+  serialization_ns_ = static_cast<SimTimeNs>(
+      static_cast<double>(config_.op_bytes) / bytes_per_ns_);
+  if (serialization_ns_ == 0) {
+    serialization_ns_ = 1;
+  }
+}
+
+uint32_t Fabric::AddHost() {
+  uplinks_.emplace_back();
+  return static_cast<uint32_t>(uplinks_.size() - 1);
+}
+
+void Fabric::Drain(Link& link, SimTimeNs now) {
+  while (link.count > 0) {
+    const Pending& front = link.ring[link.head];
+    if (front.done > now) {
+      break;
+    }
+    link.inflight_bytes -= front.bytes;
+    link.head = (link.head + 1) % link.ring.size();
+    --link.count;
+  }
+}
+
+void Fabric::Push(Link& link, SimTimeNs done, uint32_t bytes) {
+  if (link.count == link.ring.size()) {
+    // Grow by re-linearizing: steady state reaches a fixed depth (bounded
+    // by bandwidth-delay product / op size) and never grows again.
+    std::vector<Pending> bigger;
+    bigger.reserve(link.ring.empty() ? 16 : link.ring.size() * 2);
+    for (size_t i = 0; i < link.count; ++i) {
+      bigger.push_back(link.ring[(link.head + i) % link.ring.size()]);
+    }
+    bigger.resize(bigger.capacity());
+    link.ring = std::move(bigger);
+    link.head = 0;
+  }
+  link.ring[(link.head + link.count) % link.ring.size()] =
+      Pending{done, bytes};
+  ++link.count;
+  link.inflight_bytes += bytes;
+}
+
+SimTimeNs Fabric::SubmitPageOp(uint32_t host, uint32_t node, SimTimeNs now,
+                               Rng& rng) {
+  Link& up = uplinks_[host % uplinks_.size()];
+  Link& down = downlinks_[node % downlinks_.size()];
+  Drain(down, now);
+
+  // The transfer occupies the sender's uplink and the receiver's downlink
+  // for one serialization slot; a hot node's downlink is where contending
+  // hosts queue behind each other (incast).
+  const SimTimeNs wire_start =
+      std::max(now, std::max(up.busy_until, down.busy_until));
+  const SimTimeNs wire_end = wire_start + serialization_ns_;
+  up.busy_until = wire_end;
+  down.busy_until = wire_end;
+
+  // Bytes already racing toward this node stretch the latency further:
+  // switch buffers drain at link rate, so each in-flight KB past the free
+  // allowance costs congestion_ns_per_kb.
+  const uint64_t backlog =
+      down.inflight_bytes > config_.congestion_free_bytes
+          ? down.inflight_bytes - config_.congestion_free_bytes
+          : 0;
+  const SimTimeNs congestion = static_cast<SimTimeNs>(
+      static_cast<double>(backlog) / 1024.0 * config_.congestion_ns_per_kb);
+
+  const SimTimeNs done = wire_end + congestion + base_.Sample(rng);
+
+  // In-flight accounting uses wire_end plus the constant mean base - NOT
+  // the sampled latency and NOT the congestion term - so ring entries are
+  // strictly non-decreasing (wire_end only grows per link) and the FIFO
+  // Drain above is exact. Congested ops therefore leave the in-flight
+  // ledger a little early; that under-, never over-counts the backlog, so
+  // congestion cannot compound on itself. Only the downlink keeps a ring:
+  // incast at the receiver is the congestion signal, while the sender side
+  // is fully described by up.busy_until.
+  const SimTimeNs done_est = wire_end + config_.base_mean_ns;
+  Push(down, done_est, static_cast<uint32_t>(config_.op_bytes));
+
+  ++ops_;
+  ++up.ops;
+  ++down.ops;
+  queue_delay_hist_.Record((wire_start - now) + congestion);
+  return done;
+}
+
+double Fabric::MeanLatencyNs() const {
+  return static_cast<double>(config_.base_mean_ns + serialization_ns_);
+}
+
+}  // namespace leap

@@ -1,0 +1,111 @@
+// Shared multi-host fabric: the network connecting N host machines to M
+// memory nodes in a disaggregated cluster.
+//
+// Replaces the fixed LatencyModel constants of single-host runs with a
+// latency that depends on what everyone else is doing: each host has an
+// uplink and each memory node a downlink of fixed bandwidth, a page op
+// serializes on both (so contending hosts queue behind each other on a hot
+// node's downlink), and on top of queuing, an incast congestion term grows
+// with the bytes already in flight toward the target node - modeling
+// switch buffering the way far-memory follow-ups (3PO and friends) argue a
+// prefetcher must be evaluated under.
+//
+// Determinism: every quantity is a pure function of the op sequence and
+// the caller's Rng stream. The cluster runner interleaves hosts in roughly
+// non-decreasing global time; small reorderings (apps with different think
+// times) are safe because busy-until times only ratchet forward (max()
+// clamps) and in-flight accounting uses the *expected* completion
+// (wire end + mean base latency), which is strictly monotone per link - so
+// the per-link completion rings drain FIFO and the model never needs an
+// ordered structure.
+#ifndef LEAP_SRC_CLUSTER_FABRIC_H_
+#define LEAP_SRC_CLUSTER_FABRIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rdma/rdma_nic.h"
+#include "src/sim/latency_model.h"
+#include "src/sim/types.h"
+#include "src/stats/histogram.h"
+
+namespace leap {
+
+struct FabricConfig {
+  // Per-direction bandwidth of every host uplink and node downlink
+  // (the paper's testbed fabric is 56 Gbps InfiniBand).
+  double link_gbps = 56.0;
+  // One-sided RDMA base latency (setup + propagation + remote NIC), same
+  // calibration as RdmaNicConfig so a 1-host cluster matches a single host.
+  SimTimeNs base_mean_ns = 3700;
+  SimTimeNs base_stddev_ns = 900;
+  SimTimeNs base_min_ns = 2500;
+  // Wire bytes per page op: 4KB payload plus headers.
+  size_t op_bytes = kPageSize + 64;
+  // Incast congestion: extra ns per KB in flight toward the target node
+  // beyond the pipe's natural depth (~1 BDP of switch buffer is free).
+  double congestion_ns_per_kb = 30.0;
+  size_t congestion_free_bytes = 32 * 1024;
+};
+
+class Fabric : public PageTransport {
+ public:
+  Fabric(const FabricConfig& config, size_t num_hosts, size_t num_nodes);
+
+  // PageTransport: one page op from `host`'s uplink to `node`'s downlink.
+  // Returns the completion time.
+  SimTimeNs SubmitPageOp(uint32_t host, uint32_t node, SimTimeNs now,
+                         Rng& rng) override;
+
+  // Host join: grows the uplink set; returns the new host id.
+  uint32_t AddHost();
+
+  size_t num_hosts() const { return uplinks_.size(); }
+  size_t num_nodes() const { return downlinks_.size(); }
+  SimTimeNs serialization_ns() const { return serialization_ns_; }
+  // Uncontended expectation (base + one serialization), for reporting.
+  double MeanLatencyNs() const;
+
+  // --- accounting ---------------------------------------------------------
+  uint64_t ops() const { return ops_; }
+  uint64_t bytes() const { return ops_ * config_.op_bytes; }
+  uint64_t host_ops(uint32_t host) const { return uplinks_[host].ops; }
+  uint64_t node_ops(uint32_t node) const { return downlinks_[node].ops; }
+  // Time ops spent waiting for a link slot plus congestion stall - the
+  // contention signal the cluster bench reports (p99 rises with hosts).
+  Histogram& queue_delay_hist() { return queue_delay_hist_; }
+  const Histogram& queue_delay_hist() const { return queue_delay_hist_; }
+
+ private:
+  // Expected in-flight completion, kept in a FIFO ring (downlinks only:
+  // incast at the receiver drives the congestion term; uplinks are fully
+  // described by busy_until).
+  struct Pending {
+    SimTimeNs done;
+    uint32_t bytes;
+  };
+  struct Link {
+    SimTimeNs busy_until = 0;      // serialization slot
+    uint64_t inflight_bytes = 0;   // submitted, not yet (expected) complete
+    uint64_t ops = 0;
+    std::vector<Pending> ring;     // circular FIFO over `head`/`count`
+    size_t head = 0;
+    size_t count = 0;
+  };
+
+  static void Drain(Link& link, SimTimeNs now);
+  static void Push(Link& link, SimTimeNs done, uint32_t bytes);
+
+  FabricConfig config_;
+  LatencyModel base_;
+  SimTimeNs serialization_ns_;
+  double bytes_per_ns_;
+  std::vector<Link> uplinks_;    // one per host
+  std::vector<Link> downlinks_;  // one per memory node
+  uint64_t ops_ = 0;
+  Histogram queue_delay_hist_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_CLUSTER_FABRIC_H_

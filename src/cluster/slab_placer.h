@@ -1,0 +1,86 @@
+// Pluggable slab placement across the remote-memory donor pool.
+//
+// HostAgent maps its swap space onto fixed-size slabs and asks a SlabPlacer
+// which node each slab (and each replica) should live on. The paper's
+// design (section 4.5, following Infiniswap) uses power-of-two-choices;
+// the cluster subsystem makes the policy pluggable so placement effects on
+// fabric contention and imbalance can be measured:
+//
+//  - first-fit:    lowest-numbered node with a free slab. Pathological
+//                  hotspotting baseline: early nodes absorb everything.
+//  - power-of-two: sample two eligible nodes, keep the less loaded. The
+//                  classic load-balancing result; near-uniform with two
+//                  random probes.
+//  - striped:      deterministic round-robin offset by host id, so one
+//                  host's consecutive slabs stripe across nodes (sequential
+//                  readahead fans out over downlinks) and different hosts
+//                  start on different nodes.
+//
+// Policies never place on failed or full nodes; kNoNode means the pool has
+// no eligible capacity and the caller must degrade (overflow to a slower
+// medium) - a counted event, not a silent fallback.
+#ifndef LEAP_SRC_CLUSTER_SLAB_PLACER_H_
+#define LEAP_SRC_CLUSTER_SLAB_PLACER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "src/rdma/remote_agent.h"
+#include "src/sim/rng.h"
+
+namespace leap {
+
+enum class PlacementPolicy { kFirstFit, kPowerOfTwo, kStriped };
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+class SlabPlacer {
+ public:
+  static constexpr uint32_t kNoNode = static_cast<uint32_t>(-1);
+
+  virtual ~SlabPlacer() = default;
+
+  // Picks a node id for `host_id`'s slab `slab_id`, skipping ids in
+  // `exclude` (replicas already placed), failed nodes, and full nodes.
+  // Returns kNoNode when no eligible node has a free slab.
+  virtual uint32_t Pick(std::span<RemoteAgent* const> nodes,
+                        std::span<const uint32_t> exclude, uint32_t host_id,
+                        uint64_t slab_id, Rng& rng) = 0;
+
+  virtual const char* name() const = 0;
+
+ protected:
+  static bool Eligible(const RemoteAgent* node,
+                       std::span<const uint32_t> exclude);
+};
+
+class FirstFitPlacer : public SlabPlacer {
+ public:
+  uint32_t Pick(std::span<RemoteAgent* const> nodes,
+                std::span<const uint32_t> exclude, uint32_t host_id,
+                uint64_t slab_id, Rng& rng) override;
+  const char* name() const override { return "first-fit"; }
+};
+
+class PowerOfTwoPlacer : public SlabPlacer {
+ public:
+  uint32_t Pick(std::span<RemoteAgent* const> nodes,
+                std::span<const uint32_t> exclude, uint32_t host_id,
+                uint64_t slab_id, Rng& rng) override;
+  const char* name() const override { return "power-of-two-choices"; }
+};
+
+class StripedPlacer : public SlabPlacer {
+ public:
+  uint32_t Pick(std::span<RemoteAgent* const> nodes,
+                std::span<const uint32_t> exclude, uint32_t host_id,
+                uint64_t slab_id, Rng& rng) override;
+  const char* name() const override { return "striped"; }
+};
+
+std::unique_ptr<SlabPlacer> MakeSlabPlacer(PlacementPolicy policy);
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_CLUSTER_SLAB_PLACER_H_

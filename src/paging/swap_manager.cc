@@ -10,7 +10,13 @@ SwapSlot SwapManager::SlotFor(Pid pid, Vpn vpn) {
   const SwapSlot slot = next_slot_++;
   forward_[key] = slot;
   reverse_[slot] = PidVpn{pid, vpn};
+  ++per_pid_slots_[pid];
   return slot;
+}
+
+size_t SwapManager::SlotsOf(Pid pid) const {
+  const uint64_t* count = per_pid_slots_.Find(pid);
+  return count == nullptr ? 0 : static_cast<size_t>(*count);
 }
 
 void SwapManager::ReleaseSlot(Pid pid, Vpn vpn) {
@@ -21,6 +27,11 @@ void SwapManager::ReleaseSlot(Pid pid, Vpn vpn) {
   }
   reverse_.Erase(*slot);
   forward_.Erase(key);
+  if (uint64_t* count = per_pid_slots_.Find(pid)) {
+    if (*count > 0) {
+      --*count;
+    }
+  }
 }
 
 std::optional<SwapSlot> SwapManager::FindSlot(Pid pid, Vpn vpn) const {

@@ -43,6 +43,11 @@ class SwapManager {
   std::optional<PidVpn> OwnerOf(SwapSlot slot) const;
 
   size_t allocated_slots() const { return forward_.size(); }
+  // Per-tenant accounting: live swap slots held by `pid` - the tenant's
+  // footprint on the backing medium (remote slabs in disaggregated runs).
+  // Surfaced by the cluster stats so per-tenant pressure on the donor pool
+  // is visible without walking the maps.
+  size_t SlotsOf(Pid pid) const;
   // High-water mark of the swap area: one past the largest slot ever
   // handed out (slots freed by ReleaseSlot still lie below it).
   SwapSlot high_water() const { return next_slot_; }
@@ -52,6 +57,7 @@ class SwapManager {
   SwapSlot next_slot_ = 0;
   FlatMap<uint64_t, SwapSlot> forward_;  // key: pid<<48 ^ vpn
   FlatMap<SwapSlot, PidVpn> reverse_;
+  FlatMap<Pid, uint64_t> per_pid_slots_;
 
   static uint64_t Key(Pid pid, Vpn vpn) {
     return (static_cast<uint64_t>(pid) << 48) ^ vpn;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/cluster/slab_placer.h"
+
 namespace leap {
 
 HostAgent::HostAgent(const HostAgentConfig& config,
@@ -9,7 +11,20 @@ HostAgent::HostAgent(const HostAgentConfig& config,
     : config_(config),
       nodes_(std::move(remote_nodes)),
       nic_(config.nic),
-      placement_rng_(seed) {}
+      placement_rng_(seed),
+      default_placer_(std::make_unique<PowerOfTwoPlacer>()),
+      placer_(default_placer_.get()) {}
+
+HostAgent::~HostAgent() = default;
+
+void HostAgent::BindFabric(PageTransport* fabric, uint32_t host_id) {
+  host_id_ = host_id;
+  nic_.BindFabric(fabric, host_id);
+}
+
+void HostAgent::SetPlacer(SlabPlacer* placer) {
+  placer_ = placer != nullptr ? placer : default_placer_.get();
+}
 
 RemoteAgent* HostAgent::Node(uint32_t id) const {
   for (RemoteAgent* node : nodes_) {
@@ -20,52 +35,44 @@ RemoteAgent* HostAgent::Node(uint32_t id) const {
   return nullptr;
 }
 
-uint32_t HostAgent::PickNode(const std::vector<uint32_t>& exclude) {
-  auto eligible = [&](const RemoteAgent* node) {
-    if (node->FreeSlabs() == 0) {
-      return false;
-    }
-    return std::find(exclude.begin(), exclude.end(), node->node_id()) ==
-           exclude.end();
-  };
-  std::vector<RemoteAgent*> pool;
-  for (RemoteAgent* node : nodes_) {
-    if (eligible(node)) {
-      pool.push_back(node);
+RemoteAgent* HostAgent::ServingNode(const SlabMapping& mapping,
+                                    bool* failover) const {
+  for (size_t i = 0; i < mapping.nodes.size(); ++i) {
+    RemoteAgent* node = Node(mapping.nodes[i]);
+    if (node != nullptr && !node->failed()) {
+      *failover = i > 0;
+      return node;
     }
   }
-  if (pool.empty()) {
-    // Full pool: fall back to the least-loaded excluded-ineligible node so
-    // the simulation keeps running (real Infiniswap falls back to disk).
-    return nodes_.front()->node_id();
-  }
-  if (pool.size() == 1) {
-    return pool.front()->node_id();
-  }
-  // Power of two choices: sample two distinct candidates, keep the less
-  // loaded one.
-  const size_t a = placement_rng_.NextU64(pool.size());
-  size_t b = placement_rng_.NextU64(pool.size() - 1);
-  if (b >= a) {
-    ++b;
-  }
-  RemoteAgent* first = pool[a];
-  RemoteAgent* second = pool[b];
-  return first->mapped_slabs() <= second->mapped_slabs() ? first->node_id()
-                                                         : second->node_id();
+  *failover = false;
+  return nullptr;
 }
 
 void HostAgent::EnsureSlabMapped(SwapSlot slot) {
   const size_t slab = slot / config_.slab_pages;
   while (slab_map_.size() <= slab) {
     SlabMapping mapping;
-    const size_t replicas = std::min(config_.replicas, nodes_.size());
-    for (size_t r = 0; r < std::max<size_t>(1, replicas); ++r) {
-      const uint32_t node_id = PickNode(mapping.nodes);
-      mapping.nodes.push_back(node_id);
-      if (RemoteAgent* node = Node(node_id)) {
-        node->MapSlab();
+    const size_t replicas =
+        std::max<size_t>(1, std::min(config_.replicas, nodes_.size()));
+    for (size_t r = 0; r < replicas; ++r) {
+      const uint32_t node_id =
+          placer_->Pick(nodes_, mapping.nodes, host_id_, slab_map_.size(),
+                        placement_rng_);
+      if (node_id == SlabPlacer::kNoNode) {
+        break;  // pool out of eligible capacity for further replicas
       }
+      RemoteAgent* node = Node(node_id);
+      if (node == nullptr || !node->MapSlab()) {
+        break;
+      }
+      mapping.nodes.push_back(node_id);
+    }
+    if (mapping.nodes.empty()) {
+      // Nowhere in the pool to put even the primary: the slab degrades to
+      // the overflow medium. A counted event, not a silent fallback.
+      mapping.overflow = true;
+      ++overflow_slabs_;
+      Count(counter::kRemoteCapacityExhausted);
     }
     slab_map_.push_back(std::move(mapping));
   }
@@ -87,16 +94,60 @@ void HostAgent::ReadPages(std::span<const SwapSlot> slots, SimTimeNs now,
                           Rng& rng, std::span<SimTimeNs> ready_at) {
   for (size_t i = 0; i < slots.size(); ++i) {
     EnsureSlabMapped(slots[i]);
-    ready_at[i] = nic_.SubmitPageOp(QueueFor(slots[i]), now, rng);
+    const SlabMapping& mapping = slab_map_[slots[i] / config_.slab_pages];
+    if (mapping.overflow && overflow_store_ != nullptr) {
+      overflow_store_->ReadPages({&slots[i], 1}, now, rng, {&ready_at[i], 1});
+      Count(counter::kOverflowReads);
+      continue;
+    }
+    bool failover = false;
+    RemoteAgent* node = ServingNode(mapping, &failover);
+    if (node == nullptr && !mapping.nodes.empty()) {
+      // Every replica is down: charge a timeout-and-recover penalty so the
+      // run keeps making (degraded) progress.
+      ready_at[i] = now + config_.failed_read_penalty_ns;
+      Count(counter::kRemoteReadsLost);
+      continue;
+    }
+    if (failover) {
+      Count(counter::kRemoteFailovers);
+    }
+    const uint32_t target = node != nullptr ? node->node_id() : 0;
+    ready_at[i] = nic_.SubmitPageOpTo(target, QueueFor(slots[i]), now, rng);
+    if (node != nullptr) {
+      node->CountRead();
+    }
   }
 }
 
 SimTimeNs HostAgent::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
   const SlabMapping& mapping = MappingForSlot(slot);
-  // Replicated write: issue to every replica, complete when all complete.
+  if (mapping.overflow && overflow_store_ != nullptr) {
+    Count(counter::kOverflowWrites);
+    return overflow_store_->WritePage(slot, now, rng);
+  }
+  // Replicated write: issue to every live replica, complete when all
+  // complete. Replicas that are down miss the write (repair re-syncs them).
   SimTimeNs done = now;
-  for (size_t r = 0; r < std::max<size_t>(1, mapping.nodes.size()); ++r) {
-    done = std::max(done, nic_.SubmitPageOp(QueueFor(slot + r), now, rng));
+  if (mapping.nodes.empty()) {
+    // Best-effort path for agents with no overflow store (standalone use).
+    return nic_.SubmitPageOpTo(0, QueueFor(slot), now, rng);
+  }
+  bool any_live = false;
+  for (size_t r = 0; r < mapping.nodes.size(); ++r) {
+    RemoteAgent* node = Node(mapping.nodes[r]);
+    if (node == nullptr || node->failed()) {
+      continue;
+    }
+    any_live = true;
+    done = std::max(done,
+                    nic_.SubmitPageOpTo(node->node_id(), QueueFor(slot + r),
+                                        now, rng));
+    node->CountWrite();
+  }
+  if (!any_live) {
+    Count(counter::kRemoteWritesLost);
+    return now + config_.failed_read_penalty_ns;
   }
   return done;
 }
@@ -104,9 +155,22 @@ SimTimeNs HostAgent::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
 void HostAgent::WriteTag(SwapSlot slot, uint64_t tag, SimTimeNs now,
                          Rng& rng) {
   const SlabMapping& mapping = MappingForSlot(slot);
-  for (uint32_t node_id : mapping.nodes) {
-    if (RemoteAgent* node = Node(node_id)) {
-      node->StorePage(slot, tag);
+  if (mapping.overflow) {
+    overflow_tags_[slot] = tag;
+  } else {
+    for (uint32_t node_id : mapping.nodes) {
+      RemoteAgent* node = Node(node_id);
+      if (node == nullptr) {
+        continue;
+      }
+      if (node->failed()) {
+        // The down replica misses the write; drop its stale copy so a
+        // later recovery cannot resurrect the old value (ReadTag falls
+        // through to a replica that has the page).
+        node->DropPage(PageKey(slot));
+      } else {
+        node->StorePage(PageKey(slot), tag);
+      }
     }
   }
   WritePage(slot, now, rng);
@@ -117,13 +181,113 @@ std::optional<uint64_t> HostAgent::ReadTag(SwapSlot slot) const {
   if (slab >= slab_map_.size()) {
     return std::nullopt;
   }
-  for (uint32_t node_id : slab_map_[slab].nodes) {
+  const SlabMapping& mapping = slab_map_[slab];
+  if (mapping.overflow) {
+    const uint64_t* tag = overflow_tags_.Find(slot);
+    return tag == nullptr ? std::nullopt : std::optional<uint64_t>(*tag);
+  }
+  for (uint32_t node_id : mapping.nodes) {
     RemoteAgent* node = Node(node_id);
-    if (node != nullptr && !node->failed()) {
-      return node->LoadPage(slot);
+    if (node == nullptr || node->failed()) {
+      continue;
+    }
+    // Fall through to the next replica when this one lacks the page (it
+    // was down for the write and its stale copy was invalidated).
+    const auto tag = node->LoadPage(PageKey(slot));
+    if (tag.has_value()) {
+      return tag;
     }
   }
   return std::nullopt;
+}
+
+size_t HostAgent::RepairSlabsAfterFailure(uint32_t failed_node,
+                                          SimTimeNs now) {
+  RemoteAgent* failed = Node(failed_node);
+  size_t repaired = 0;
+  for (size_t slab = 0; slab < slab_map_.size(); ++slab) {
+    SlabMapping& mapping = slab_map_[slab];
+    if (mapping.overflow) {
+      continue;
+    }
+    auto it = std::find(mapping.nodes.begin(), mapping.nodes.end(),
+                        failed_node);
+    if (it == mapping.nodes.end()) {
+      continue;
+    }
+    mapping.nodes.erase(it);
+    if (failed != nullptr) {
+      failed->UnmapSlab();
+      // The failed node lost its lease on this slab: garbage-collect its
+      // copy so being re-picked after recovery cannot serve stale tags.
+      DropSlabTags(failed, slab);
+    }
+    // Surviving replica to re-replicate from (may be none when the slab
+    // was single-replica: its pages are lost until rewritten).
+    RemoteAgent* source = nullptr;
+    for (uint32_t id : mapping.nodes) {
+      RemoteAgent* node = Node(id);
+      if (node != nullptr && !node->failed()) {
+        source = node;
+        break;
+      }
+    }
+    const uint32_t replacement = placer_->Pick(
+        nodes_, mapping.nodes, host_id_, slab, placement_rng_);
+    if (replacement == SlabPlacer::kNoNode) {
+      // Degraded: the slab keeps running with fewer replicas.
+      Count(counter::kRemoteCapacityExhausted);
+      continue;
+    }
+    RemoteAgent* target = Node(replacement);
+    if (target == nullptr || !target->MapSlab()) {
+      continue;
+    }
+    mapping.nodes.push_back(replacement);
+    ++repaired;
+    Count(counter::kSlabRepairs);
+    if (source != nullptr) {
+      // Re-replication traffic rides the same NIC/fabric as foreground
+      // I/O, so repair storms congest the cluster like they would in life.
+      const SwapSlot base = static_cast<SwapSlot>(slab) * config_.slab_pages;
+      for (size_t p = 0; p < config_.slab_pages; ++p) {
+        const auto tag = source->LoadPage(PageKey(base + p));
+        if (tag.has_value()) {
+          target->StorePage(PageKey(base + p), *tag);
+          nic_.SubmitPageOpTo(replacement, QueueFor(base + p), now,
+                              placement_rng_);
+          Count(counter::kRepairPageCopies);
+        }
+      }
+    }
+  }
+  return repaired;
+}
+
+void HostAgent::DropSlabTags(RemoteAgent* node, size_t slab) const {
+  const SwapSlot base = static_cast<SwapSlot>(slab) * config_.slab_pages;
+  for (size_t p = 0; p < config_.slab_pages; ++p) {
+    node->DropPage(PageKey(base + p));
+  }
+}
+
+void HostAgent::ReleaseAllSlabs() {
+  for (size_t slab = 0; slab < slab_map_.size(); ++slab) {
+    SlabMapping& mapping = slab_map_[slab];
+    if (mapping.overflow) {
+      continue;
+    }
+    for (uint32_t id : mapping.nodes) {
+      if (RemoteAgent* node = Node(id)) {
+        node->UnmapSlab();
+        DropSlabTags(node, slab);
+      }
+    }
+    mapping.nodes.clear();
+  }
+  slab_map_.clear();
+  overflow_slabs_ = 0;
+  overflow_tags_.Clear();
 }
 
 double HostAgent::MeanReadLatencyNs() const {

@@ -2,11 +2,25 @@
 // serves page reads/writes over the RDMA NIC.
 //
 // Follows the paper's section 4.4/4.5 design: the remote address space is
-// split into fixed-size slabs; slabs are placed across remote machines with
-// power-of-two-choices to balance load; writes are replicated to `replicas`
-// nodes for fault tolerance, reads go to the primary unless it failed.
+// split into fixed-size slabs; slabs are placed across remote machines by a
+// pluggable SlabPlacer (power-of-two-choices by default) to balance load;
+// writes are replicated to `replicas` nodes for fault tolerance, reads go
+// to the primary unless it failed (counted failover to a live replica).
 // Implements BackingStore so the paging data paths treat remote memory
 // exactly like a (much faster) swap device.
+//
+// Cluster wiring (all optional; single-host runs skip every hook):
+//  - BindFabric: page ops ride a shared multi-host fabric instead of the
+//    private-link NIC model, so latency reflects cluster contention.
+//  - SetPlacer / SetCounters: placement policy override and surfacing of
+//    remote-side events (capacity exhaustion, failovers, repairs) in the
+//    owning machine's counters.
+//  - SetOverflowStore: when the donor pool has no free slab anywhere, the
+//    slab overflows to this (slower) medium instead of silently landing on
+//    a full node - graceful degradation, counted per slab.
+//  - RepairSlabsAfterFailure: re-maps every slab that lost a replica to a
+//    failed node onto a fresh node and re-replicates its pages from a
+//    surviving replica, preserving read-your-writes across the re-mapping.
 #ifndef LEAP_SRC_RDMA_HOST_AGENT_H_
 #define LEAP_SRC_RDMA_HOST_AGENT_H_
 
@@ -14,23 +28,33 @@
 #include <memory>
 #include <vector>
 
+#include "src/container/flat_map.h"
 #include "src/rdma/rdma_nic.h"
 #include "src/rdma/remote_agent.h"
 #include "src/sim/rng.h"
 #include "src/sim/types.h"
+#include "src/stats/counters.h"
 #include "src/storage/backing_store.h"
 
 namespace leap {
 
+class SlabPlacer;
+
 struct HostAgentConfig {
   size_t slab_pages = 256 * 256 / 4;  // 64 MB slabs (4KB pages)
   size_t replicas = 2;                // primary + 1 backup
+  // Latency charged to a read whose every replica is down (timeout +
+  // recovery from elsewhere); the op is also counted as lost.
+  SimTimeNs failed_read_penalty_ns = 100 * kNsPerUs;
   RdmaNicConfig nic;
 };
 
 // Placement record for one slab.
 struct SlabMapping {
   std::vector<uint32_t> nodes;  // nodes[0] = primary
+  // Donor pool had no eligible capacity: the slab lives on the overflow
+  // store (or, lacking one, on a best-effort NIC path).
+  bool overflow = false;
 };
 
 class HostAgent : public BackingStore {
@@ -38,6 +62,7 @@ class HostAgent : public BackingStore {
   // `remote_nodes` is the donor pool; the agent keeps references only.
   HostAgent(const HostAgentConfig& config,
             std::vector<RemoteAgent*> remote_nodes, uint64_t seed);
+  ~HostAgent() override;
 
   // BackingStore:
   void ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
@@ -45,6 +70,21 @@ class HostAgent : public BackingStore {
   SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) override;
   std::string name() const override { return "remote-memory"; }
   double MeanReadLatencyNs() const override;
+
+  // --- cluster wiring -----------------------------------------------------
+  void BindFabric(PageTransport* fabric, uint32_t host_id);
+  void SetPlacer(SlabPlacer* placer);
+  void SetCounters(Counters* counters) { counters_ = counters; }
+  void SetOverflowStore(BackingStore* store) { overflow_store_ = store; }
+  uint32_t host_id() const { return host_id_; }
+
+  // Re-maps every slab with a replica on `failed_node` and re-replicates
+  // its pages from a surviving replica (repair traffic rides the NIC /
+  // fabric at `now`). Returns the number of slabs repaired.
+  size_t RepairSlabsAfterFailure(uint32_t failed_node, SimTimeNs now);
+
+  // Host leave: returns every mapped slab to the donor pool.
+  void ReleaseAllSlabs();
 
   // Content-tag plumbing for integration tests (read-your-writes through
   // real slab/node routing).
@@ -54,25 +94,50 @@ class HostAgent : public BackingStore {
   // Slab of a slot, mapping it on demand (first touch maps the slab).
   const SlabMapping& MappingForSlot(SwapSlot slot);
   size_t mapped_slab_count() const { return slab_map_.size(); }
+  size_t overflow_slab_count() const { return overflow_slabs_; }
   const RdmaNic& nic() const { return nic_; }
 
   // Per-node mapped-slab counts, for balance assertions.
   std::vector<size_t> NodeLoads() const;
 
  private:
-  // Power-of-two-choices placement avoiding nodes in `exclude`.
-  uint32_t PickNode(const std::vector<uint32_t>& exclude);
+  // Tag-store key: slots are host-local, but donor nodes are shared by
+  // every host in a cluster, so the key namespaces the slot by host id.
+  uint64_t PageKey(SwapSlot slot) const {
+    return (static_cast<uint64_t>(host_id_) << 48) ^ slot;
+  }
+  // Lease teardown: a slab unmapped from `node` leaves no tags behind, so
+  // a later re-placement on the same node cannot resurrect stale data.
+  void DropSlabTags(RemoteAgent* node, size_t slab) const;
   void EnsureSlabMapped(SwapSlot slot);
   // Queue selection: hash the slot so one process's sequential pages spread
   // across queues, like per-core submission in the kernel.
   size_t QueueFor(SwapSlot slot) const;
   RemoteAgent* Node(uint32_t id) const;
+  // First live node of `mapping`; sets `*failover` when it is not the
+  // primary. nullptr when every replica is down.
+  RemoteAgent* ServingNode(const SlabMapping& mapping, bool* failover) const;
+  void Count(CounterId id, uint64_t delta = 1) {
+    if (counters_ != nullptr) {
+      counters_->Add(id, delta);
+    }
+  }
 
   HostAgentConfig config_;
   std::vector<RemoteAgent*> nodes_;
   RdmaNic nic_;
   Rng placement_rng_;
   std::vector<SlabMapping> slab_map_;  // indexed by slab id
+  size_t overflow_slabs_ = 0;
+
+  std::unique_ptr<SlabPlacer> default_placer_;  // power-of-two-choices
+  SlabPlacer* placer_;                          // never null
+  Counters* counters_ = nullptr;
+  BackingStore* overflow_store_ = nullptr;
+  // Tags for overflow slabs (the overflow store holds payloads in real
+  // life; here, tags keyed by slot like the nodes do).
+  FlatMap<uint64_t, uint64_t> overflow_tags_;
+  uint32_t host_id_ = 0;
 };
 
 }  // namespace leap

@@ -10,6 +10,27 @@ RdmaNic::RdmaNic(const RdmaNicConfig& config)
                                  config.base_min_ns)),
       queues_busy_until_(std::max<size_t>(1, config.num_queues), 0) {}
 
+void RdmaNic::BindFabric(PageTransport* fabric, uint32_t host_id) {
+  fabric_ = fabric;
+  host_id_ = host_id;
+}
+
+SimTimeNs RdmaNic::SubmitPageOpTo(uint32_t node, size_t queue, SimTimeNs now,
+                                  Rng& rng) {
+  if (fabric_ == nullptr) {
+    return SubmitPageOp(queue, now, rng);
+  }
+  // Per-core dispatch still paces issue on this host (a core cannot post
+  // faster than the wire drains its queue); the wire itself - uplink
+  // serialization, cross-host queuing, congestion, base latency - is the
+  // shared fabric's business.
+  auto& q_busy = queues_busy_until_[queue % queues_busy_until_.size()];
+  const SimTimeNs issue = std::max(now, q_busy);
+  q_busy = issue + config_.serialization_ns;
+  ++ops_issued_;
+  return fabric_->SubmitPageOp(host_id_, node, issue, rng);
+}
+
 SimTimeNs RdmaNic::SubmitPageOp(size_t queue, SimTimeNs now, Rng& rng) {
   auto& q_busy = queues_busy_until_[queue % queues_busy_until_.size()];
   // The op waits for its dispatch queue's issue slot, then for the wire.

@@ -6,6 +6,14 @@
 // serialization (4KB at 56 Gbps ~ 585 ns). Contention appears as queueing
 // on the per-core queue and on the shared link, which is what Leap's
 // adaptive throttling avoids congesting (section 5.3.3).
+//
+// Two wire models:
+//  - standalone (default): the link is private to this host, modeled by
+//    link_busy_until_ + a sampled base latency - the single-machine setup.
+//  - fabric-bound (cluster runs): BindFabric routes every op through a
+//    shared PageTransport whose latency depends on what every other host
+//    is doing (per-link bandwidth, queuing, congestion). The per-core
+//    dispatch queues still pace issue on this side.
 #ifndef LEAP_SRC_RDMA_RDMA_NIC_H_
 #define LEAP_SRC_RDMA_RDMA_NIC_H_
 
@@ -17,6 +25,19 @@
 #include "src/sim/types.h"
 
 namespace leap {
+
+// Transport the NIC dispatches onto when bound to a shared multi-host
+// fabric (src/cluster/fabric.h implements it). Kept here so the rdma layer
+// does not depend on the cluster layer.
+class PageTransport {
+ public:
+  virtual ~PageTransport() = default;
+
+  // One page op from `src_host`'s uplink to `dst_node`'s downlink; returns
+  // the completion time.
+  virtual SimTimeNs SubmitPageOp(uint32_t src_host, uint32_t dst_node,
+                                 SimTimeNs now, Rng& rng) = 0;
+};
 
 struct RdmaNicConfig {
   size_t num_queues = 8;  // per-core dispatch queues
@@ -37,6 +58,16 @@ class RdmaNic {
   // serialization delay across all queues.
   SimTimeNs SubmitPageOp(size_t queue, SimTimeNs now, Rng& rng);
 
+  // Node-addressed submission: over the fabric when bound, identical to
+  // SubmitPageOp otherwise (the private link does not care which node).
+  SimTimeNs SubmitPageOpTo(uint32_t node, size_t queue, SimTimeNs now,
+                           Rng& rng);
+
+  // Cluster wiring: route the wire + base latency through a shared fabric;
+  // `host_id` names this host's uplink.
+  void BindFabric(PageTransport* fabric, uint32_t host_id);
+  bool fabric_bound() const { return fabric_ != nullptr; }
+
   size_t num_queues() const { return queues_busy_until_.size(); }
   uint64_t ops_issued() const { return ops_issued_; }
   // Total bytes pushed over the fabric so far.
@@ -48,6 +79,8 @@ class RdmaNic {
   std::vector<SimTimeNs> queues_busy_until_;
   SimTimeNs link_busy_until_ = 0;
   uint64_t ops_issued_ = 0;
+  PageTransport* fabric_ = nullptr;
+  uint32_t host_id_ = 0;
 };
 
 }  // namespace leap

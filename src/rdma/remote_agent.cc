@@ -17,11 +17,11 @@ void RemoteAgent::UnmapSlab() {
 }
 
 std::optional<uint64_t> RemoteAgent::LoadPage(uint64_t page_key) const {
-  auto it = pages_.find(page_key);
-  if (it == pages_.end()) {
+  const uint64_t* tag = pages_.Find(page_key);
+  if (tag == nullptr) {
     return std::nullopt;
   }
-  return it->second;
+  return *tag;
 }
 
 }  // namespace leap

@@ -3,13 +3,18 @@
 // Stores page "content tags" (one 64-bit token per page) instead of real
 // 4KB payloads so read-your-writes can be asserted in tests without moving
 // gigabytes through the simulator.
+//
+// The tag store is a flat robin-hood map (PR 1 allocation discipline):
+// steady-state tag churn on the remote side never touches the allocator,
+// and iteration order stays a pure function of the op sequence, which keeps
+// cluster runs bit-reproducible.
 #ifndef LEAP_SRC_RDMA_REMOTE_AGENT_H_
 #define LEAP_SRC_RDMA_REMOTE_AGENT_H_
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "src/container/flat_map.h"
 #include "src/sim/types.h"
 
 namespace leap {
@@ -33,18 +38,33 @@ class RemoteAgent {
     pages_[page_key] = content_tag;
   }
   std::optional<uint64_t> LoadPage(uint64_t page_key) const;
+  void DropPage(uint64_t page_key) { pages_.Erase(page_key); }
+  size_t stored_pages() const { return pages_.size(); }
 
-  // Fault injection for resilience tests.
-  void Fail() { failed_ = true; }
+  // Fault injection for resilience tests and cluster failure scenarios.
+  void Fail() {
+    failed_ = true;
+    ++fail_count_;
+  }
   void Recover() { failed_ = false; }
   bool failed() const { return failed_; }
+  uint64_t fail_count() const { return fail_count_; }
+
+  // Per-node served-op accounting (cluster stats: who is the hot node?).
+  void CountRead() { ++reads_served_; }
+  void CountWrite() { ++writes_served_; }
+  uint64_t reads_served() const { return reads_served_; }
+  uint64_t writes_served() const { return writes_served_; }
 
  private:
   uint32_t node_id_;
   size_t capacity_slabs_;
   size_t mapped_slabs_ = 0;
   bool failed_ = false;
-  std::unordered_map<uint64_t, uint64_t> pages_;
+  uint64_t fail_count_ = 0;
+  uint64_t reads_served_ = 0;
+  uint64_t writes_served_ = 0;
+  FlatMap<uint64_t, uint64_t> pages_;
 };
 
 }  // namespace leap

@@ -6,8 +6,8 @@ namespace leap {
 namespace {
 
 struct AppState {
-  MultiAppSpec spec;
-  Rng rng;
+  BoundAppSpec spec;
+  Rng rng{0};
   SimTimeNs local_time = 0;
   uint64_t accesses = 0;
   uint64_t ops = 0;
@@ -15,7 +15,19 @@ struct AppState {
   RunResult result;
 };
 
-void Step(Machine& machine, AppState& app) {
+void FinishApp(AppState& app, bool finished) {
+  const SimTimeNs elapsed = app.local_time - app.spec.config.start_time_ns;
+  app.done = true;
+  app.result.finished = finished;
+  app.result.completion_ns = elapsed;
+  app.result.accesses = app.accesses;
+  app.result.app_ops = app.ops;
+  app.result.ops_per_sec =
+      elapsed == 0 ? 0.0 : static_cast<double>(app.ops) / ToSec(elapsed);
+}
+
+void Step(AppState& app, size_t index, const RunHooks& hooks) {
+  Machine& machine = *app.spec.machine;
   const MemOp op = app.spec.stream->Next(app.rng);
   app.local_time += op.think_ns;
   const AccessResult access =
@@ -33,19 +45,16 @@ void Step(Machine& machine, AppState& app) {
     if (access.type == AccessType::kMiss) {
       app.result.miss_latency.Record(access.latency);
     }
+    if (hooks.on_remote_access) {
+      hooks.on_remote_access(index, access);
+    }
   }
 
   const SimTimeNs elapsed = app.local_time - app.spec.config.start_time_ns;
   const bool capped = app.spec.config.time_cap_ns != 0 &&
                       elapsed > app.spec.config.time_cap_ns;
   if (app.accesses >= app.spec.config.total_accesses || capped) {
-    app.done = true;
-    app.result.finished = !capped;
-    app.result.completion_ns = elapsed;
-    app.result.accesses = app.accesses;
-    app.result.app_ops = app.ops;
-    app.result.ops_per_sec =
-        elapsed == 0 ? 0.0 : static_cast<double>(app.ops) / ToSec(elapsed);
+    FinishApp(app, /*finished=*/!capped);
   }
 }
 
@@ -53,8 +62,8 @@ void Step(Machine& machine, AppState& app) {
 
 RunResult RunApp(Machine& machine, Pid pid, AccessStream& stream,
                  const RunConfig& config) {
-  std::vector<MultiAppSpec> specs = {{pid, &stream, config}};
-  return RunAppsConcurrently(machine, std::move(specs))[0];
+  std::vector<BoundAppSpec> specs = {{&machine, pid, &stream, config}};
+  return RunBoundApps(std::move(specs))[0];
 }
 
 SimTimeNs WarmUp(Machine& machine, Pid pid, size_t pages, SimTimeNs start) {
@@ -68,9 +77,19 @@ SimTimeNs WarmUp(Machine& machine, Pid pid, size_t pages, SimTimeNs start) {
 
 std::vector<RunResult> RunAppsConcurrently(Machine& machine,
                                            std::vector<MultiAppSpec> specs) {
+  std::vector<BoundAppSpec> bound;
+  bound.reserve(specs.size());
+  for (const MultiAppSpec& spec : specs) {
+    bound.push_back({&machine, spec.pid, spec.stream, spec.config});
+  }
+  return RunBoundApps(std::move(bound));
+}
+
+std::vector<RunResult> RunBoundApps(std::vector<BoundAppSpec> specs,
+                                    const RunHooks& hooks) {
   std::vector<AppState> apps;
   apps.reserve(specs.size());
-  for (const MultiAppSpec& spec : specs) {
+  for (const BoundAppSpec& spec : specs) {
     AppState state;
     state.spec = spec;
     state.rng = Rng(spec.config.seed);
@@ -81,18 +100,28 @@ std::vector<RunResult> RunAppsConcurrently(Machine& machine,
 
   // Global-time-ordered interleaving: always advance the app whose next
   // access happens earliest. Shared state (NIC queues, devices, frame
-  // pool) then observes a single non-decreasing timeline.
+  // pools, a cluster's fabric and event queue) then observes a single
+  // near-non-decreasing timeline - the contention model and the
+  // determinism guarantee at once.
   for (;;) {
     AppState* next = nullptr;
-    for (AppState& app : apps) {
-      if (!app.done && (next == nullptr || app.local_time < next->local_time)) {
+    size_t next_index = 0;
+    for (size_t i = 0; i < apps.size(); ++i) {
+      AppState& app = apps[i];
+      if (!app.done &&
+          (next == nullptr || app.local_time < next->local_time)) {
         next = &app;
+        next_index = i;
       }
     }
     if (next == nullptr) {
       break;
     }
-    Step(machine, *next);
+    if (hooks.keep_running && !hooks.keep_running(next_index)) {
+      FinishApp(*next, /*finished=*/false);
+      continue;
+    }
+    Step(*next, next_index, hooks);
   }
 
   std::vector<RunResult> results;

@@ -4,6 +4,8 @@
 #ifndef LEAP_SRC_RUNTIME_APP_RUNNER_H_
 #define LEAP_SRC_RUNTIME_APP_RUNNER_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -65,6 +67,33 @@ struct MultiAppSpec {
 };
 std::vector<RunResult> RunAppsConcurrently(Machine& machine,
                                            std::vector<MultiAppSpec> specs);
+
+// --- multi-machine core ------------------------------------------------------
+
+// One workload bound to an explicit machine. RunAppsConcurrently and the
+// cluster driver both lower onto this, so there is exactly one
+// global-time-ordered interleaving loop in the tree.
+struct BoundAppSpec {
+  Machine* machine = nullptr;
+  Pid pid = 0;
+  AccessStream* stream = nullptr;
+  RunConfig config;
+};
+
+// Optional per-run hooks for multi-host drivers (cold path; empty
+// std::functions cost nothing on the access loop's scale).
+struct RunHooks {
+  // Checked before each step; returning false stops that app where it
+  // stands (reported finished = false with its progress so far).
+  std::function<bool(size_t app_index)> keep_running;
+  // Fired for every access that went through the paging/VFS path (the
+  // same set recorded into RunResult::remote_access_latency).
+  std::function<void(size_t app_index, const AccessResult& access)>
+      on_remote_access;
+};
+
+std::vector<RunResult> RunBoundApps(std::vector<BoundAppSpec> specs,
+                                    const RunHooks& hooks = {});
 
 }  // namespace leap
 

@@ -1,0 +1,152 @@
+#include "src/runtime/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace leap {
+
+size_t ClusterStats::SlabImbalance() const {
+  if (node_slabs.empty()) {
+    return 0;
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(node_slabs.begin(), node_slabs.end());
+  return *max_it - *min_it;
+}
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      fabric_(std::make_unique<Fabric>(config.fabric,
+                                       std::max<size_t>(1, config.hosts),
+                                       std::max<size_t>(1, config.nodes))),
+      placer_(MakeSlabPlacer(config.placement)),
+      host_seeder_(config.seed) {
+  for (size_t n = 0; n < std::max<size_t>(1, config_.nodes); ++n) {
+    nodes_.push_back(std::make_unique<RemoteAgent>(
+        static_cast<uint32_t>(n), config_.node_capacity_slabs));
+  }
+  for (size_t h = 0; h < config_.hosts; ++h) {
+    AddHost();
+  }
+}
+
+size_t Cluster::AddHost() {
+  const size_t id = hosts_.size();
+  while (fabric_->num_hosts() <= id) {
+    fabric_->AddHost();
+  }
+  MachineConfig host_config = config_.host;
+  host_config.medium = Medium::kRemote;
+  host_config.seed = host_seeder_.NextU64();
+
+  MachineEnv env;
+  env.shared_events = &events_;
+  env.fabric = fabric_.get();
+  env.placer = placer_.get();
+  env.host_id = static_cast<uint32_t>(id);
+  env.remote_pool.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    env.remote_pool.push_back(node.get());
+  }
+
+  hosts_.push_back(std::make_unique<Machine>(host_config, env));
+  alive_.push_back(true);
+  host_remote_hist_.emplace_back();
+  counters_.Add(counter::kHostJoins);
+  return id;
+}
+
+void Cluster::RemoveHost(size_t host) {
+  if (host >= hosts_.size() || !alive_[host]) {
+    return;
+  }
+  alive_[host] = false;
+  // Abrupt departure: the host's slabs return to the pool (its remote data
+  // is gone, like a lease expiring in Infiniswap).
+  hosts_[host]->host_agent()->ReleaseAllSlabs();
+  counters_.Add(counter::kHostLeaves);
+}
+
+void Cluster::ScheduleNodeFailure(uint32_t node, SimTimeNs at) {
+  // Fail fast at schedule time; an unchecked id would blow up later, deep
+  // inside some host's event drain.
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("leap::Cluster: unknown node");
+  }
+  events_.ScheduleAt(at, [this, node](SimTimeNs when) {
+    nodes_[node]->Fail();
+    counters_.Add(counter::kNodeFailures);
+    // Every live host re-maps the slabs that lost a replica and
+    // re-replicates from survivors; the repair traffic rides the fabric at
+    // `when`, congesting it like a real rebuild storm.
+    for (size_t h = 0; h < hosts_.size(); ++h) {
+      if (alive_[h]) {
+        hosts_[h]->host_agent()->RepairSlabsAfterFailure(node, when);
+      }
+    }
+  });
+}
+
+void Cluster::ScheduleNodeRecovery(uint32_t node, SimTimeNs at) {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("leap::Cluster: unknown node");
+  }
+  events_.ScheduleAt(at, [this, node](SimTimeNs /*when*/) {
+    nodes_[node]->Recover();
+    counters_.Add(counter::kNodeRecoveries);
+  });
+}
+
+void Cluster::ScheduleHostLeave(size_t host, SimTimeNs at) {
+  if (host >= hosts_.size()) {
+    throw std::out_of_range("leap::Cluster: unknown host");
+  }
+  events_.ScheduleAt(at,
+                     [this, host](SimTimeNs /*when*/) { RemoveHost(host); });
+}
+
+std::vector<RunResult> Cluster::Run(std::vector<ClusterAppSpec> specs) {
+  // Lower onto the shared global-time-ordered loop (app_runner), adding
+  // only what is cluster-specific: stopping apps whose host left, and the
+  // per-host remote-latency histograms.
+  std::vector<BoundAppSpec> bound;
+  bound.reserve(specs.size());
+  for (const ClusterAppSpec& spec : specs) {
+    bound.push_back({hosts_[spec.host].get(), spec.pid, spec.stream,
+                     spec.config});
+  }
+  RunHooks hooks;
+  hooks.keep_running = [this, &specs](size_t i) {
+    return alive_[specs[i].host];
+  };
+  hooks.on_remote_access = [this, &specs](size_t i,
+                                          const AccessResult& access) {
+    host_remote_hist_[specs[i].host].Record(access.latency);
+  };
+  return RunBoundApps(std::move(bound), hooks);
+}
+
+ClusterStats Cluster::Stats() const {
+  ClusterStats stats;
+  for (size_t i = 0; i < kCounterCount; ++i) {
+    const CounterId id = static_cast<CounterId>(i);
+    uint64_t total = counters_.Get(id);
+    for (const auto& host : hosts_) {
+      total += host->counters().Get(id);
+    }
+    stats.totals.Add(id, total);
+  }
+  stats.node_slabs.reserve(nodes_.size());
+  stats.node_reads.reserve(nodes_.size());
+  stats.node_writes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    stats.node_slabs.push_back(node->mapped_slabs());
+    stats.node_reads.push_back(node->reads_served());
+    stats.node_writes.push_back(node->writes_served());
+  }
+  stats.fabric_ops = fabric_->ops();
+  stats.fabric_bytes = fabric_->bytes();
+  return stats;
+}
+
+}  // namespace leap

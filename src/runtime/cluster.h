@@ -1,0 +1,115 @@
+// Multi-host memory-disaggregation cluster: N host machines and M memory
+// nodes on one shared clock, connected by a congestion-aware fabric.
+//
+// This is the composition point the single-host Machine could not express:
+// Figure 13 scaled out. Hosts contend for node downlinks (remote latency
+// rises with cluster load), a pluggable SlabPlacer spreads slabs across the
+// donor pool, and scenario hooks inject node failure/recovery (with slab
+// repair and re-replication) and host join/leave mid-run - all on the
+// shared EventQueue, so every scenario interleaves deterministically with
+// foreground faults and same-seed cluster runs are bit-identical.
+#ifndef LEAP_SRC_RUNTIME_CLUSTER_H_
+#define LEAP_SRC_RUNTIME_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/fabric.h"
+#include "src/cluster/slab_placer.h"
+#include "src/runtime/app_runner.h"
+#include "src/runtime/machine.h"
+#include "src/sim/event_queue.h"
+#include "src/stats/counters.h"
+#include "src/stats/histogram.h"
+
+namespace leap {
+
+struct ClusterConfig {
+  size_t hosts = 4;
+  size_t nodes = 2;
+  size_t node_capacity_slabs = 4096;
+  // Per-host template; medium is forced to kRemote and each host gets a
+  // distinct derived seed.
+  MachineConfig host;
+  FabricConfig fabric;
+  PlacementPolicy placement = PlacementPolicy::kPowerOfTwo;
+  uint64_t seed = 42;
+};
+
+// One workload bound to a host in the cluster.
+struct ClusterAppSpec {
+  size_t host = 0;
+  Pid pid = 0;
+  AccessStream* stream = nullptr;
+  RunConfig config;
+};
+
+// Cluster-wide accounting snapshot.
+struct ClusterStats {
+  // Sum of every host's counters plus the cluster's own scenario counters
+  // (node failures/recoveries, host joins/leaves).
+  Counters totals;
+  std::vector<size_t> node_slabs;     // mapped slabs per node
+  std::vector<uint64_t> node_reads;   // page reads served per node
+  std::vector<uint64_t> node_writes;  // page writes absorbed per node
+  uint64_t fabric_ops = 0;
+  uint64_t fabric_bytes = 0;
+
+  // Placement skew: max - min mapped slabs across nodes.
+  size_t SlabImbalance() const;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  size_t num_hosts() const { return hosts_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  Machine& host(size_t i) { return *hosts_[i]; }
+  RemoteAgent& node(size_t i) { return *nodes_[i]; }
+  Fabric& fabric() { return *fabric_; }
+  EventQueue& events() { return events_; }
+  Counters& scenario_counters() { return counters_; }
+
+  // --- membership ---------------------------------------------------------
+  // Host join: a new machine wired to the shared clock/pool/fabric.
+  size_t AddHost();
+  // Host leave: returns its slabs to the pool and stops its workloads.
+  void RemoveHost(size_t host);
+  bool HostAlive(size_t host) const { return alive_[host]; }
+
+  // --- failure scenarios (run on the shared clock) ------------------------
+  // At `at`: the node fails, and every live host re-maps and re-replicates
+  // the slabs that lost a replica (repair traffic rides the fabric).
+  void ScheduleNodeFailure(uint32_t node, SimTimeNs at);
+  void ScheduleNodeRecovery(uint32_t node, SimTimeNs at);
+  void ScheduleHostLeave(size_t host, SimTimeNs at);
+
+  // Runs all workloads concurrently across the cluster: accesses interleave
+  // in global simulated-time order, contending for DRAM per host and for
+  // the shared fabric/node downlinks across hosts.
+  std::vector<RunResult> Run(std::vector<ClusterAppSpec> specs);
+
+  // Remote (non-resident) access latency per host, recorded by Run.
+  const Histogram& host_remote_latency(size_t host) const {
+    return host_remote_hist_[host];
+  }
+
+  ClusterStats Stats() const;
+
+ private:
+  ClusterConfig config_;
+  EventQueue events_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<SlabPlacer> placer_;
+  std::vector<std::unique_ptr<RemoteAgent>> nodes_;
+  std::vector<std::unique_ptr<Machine>> hosts_;
+  std::vector<bool> alive_;
+  std::vector<Histogram> host_remote_hist_;
+  Counters counters_;  // cluster-level scenario events
+  Rng host_seeder_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_RUNTIME_CLUSTER_H_

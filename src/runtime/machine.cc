@@ -35,16 +35,38 @@ std::unique_ptr<Prefetcher> MakePrefetcher(const MachineConfig& config) {
 }  // namespace
 
 Machine::Machine(const MachineConfig& config)
-    : config_(config), rng_(config.seed), frames_(config.total_frames) {
+    : Machine(config, MachineEnv{}) {}
+
+Machine::Machine(const MachineConfig& config, const MachineEnv& env)
+    : config_(config),
+      rng_(config.seed),
+      events_(env.shared_events != nullptr ? env.shared_events
+                                           : &owned_events_),
+      host_id_(env.host_id),
+      frames_(config.total_frames) {
   if (config_.medium == Medium::kRemote) {
-    std::vector<RemoteAgent*> nodes;
-    for (size_t i = 0; i < std::max<size_t>(1, config_.remote_nodes); ++i) {
-      remote_nodes_.push_back(std::make_unique<RemoteAgent>(
-          static_cast<uint32_t>(i), config_.node_capacity_slabs));
-      nodes.push_back(remote_nodes_.back().get());
+    std::vector<RemoteAgent*> nodes = env.remote_pool;
+    if (nodes.empty()) {
+      for (size_t i = 0; i < std::max<size_t>(1, config_.remote_nodes); ++i) {
+        remote_nodes_.push_back(std::make_unique<RemoteAgent>(
+            static_cast<uint32_t>(i), config_.node_capacity_slabs));
+        nodes.push_back(remote_nodes_.back().get());
+      }
     }
-    host_agent_ = std::make_unique<HostAgent>(config_.host_agent, nodes,
+    host_agent_ = std::make_unique<HostAgent>(config_.host_agent,
+                                              std::move(nodes),
                                               rng_.NextU64());
+    if (env.fabric != nullptr) {
+      host_agent_->BindFabric(env.fabric, env.host_id);
+    }
+    if (env.placer != nullptr) {
+      host_agent_->SetPlacer(env.placer);
+    }
+    host_agent_->SetCounters(&counters_);
+    // Donor-pool exhaustion degrades to the (slower) local SSD instead of
+    // silently piling onto a full node; every overflow slab is counted.
+    overflow_store_ = std::make_unique<Ssd>(config_.ssd);
+    host_agent_->SetOverflowStore(overflow_store_.get());
     store_ = host_agent_.get();
   } else if (config_.medium == Medium::kHdd) {
     local_store_ = std::make_unique<Hdd>(config_.hdd);
@@ -85,13 +107,13 @@ bool Machine::IsResident(Pid pid, Vpn vpn) const {
 
 void Machine::DrainEvents(SimTimeNs now) {
   if (now > last_event_drain_) {
-    events_.RunUntil(now);
+    events_->RunUntil(now);
     last_event_drain_ = now;
   }
 }
 
 void Machine::ScheduleKswapd(SimTimeNs at) {
-  events_.ScheduleAt(at, [this](SimTimeNs when) { KswapdTick(when); });
+  events_->ScheduleAt(at, [this](SimTimeNs when) { KswapdTick(when); });
 }
 
 void Machine::KswapdTick(SimTimeNs now) {

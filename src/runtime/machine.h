@@ -91,6 +91,27 @@ struct MachineConfig {
   uint64_t seed = 42;
 };
 
+class SlabPlacer;
+
+// Cluster wiring injected by the runtime/Cluster driver. All fields are
+// optional: a default MachineEnv gives the classic self-contained machine
+// (own event queue, own remote nodes, private NIC link).
+struct MachineEnv {
+  // Shared simulated clock: every machine in a cluster drains the same
+  // queue, so background activity (kswapd ticks, failure events) from all
+  // hosts interleaves deterministically with every host's faults.
+  EventQueue* shared_events = nullptr;
+  // Shared donor pool (non-owning). Non-empty replaces the machine's own
+  // private remote nodes.
+  std::vector<RemoteAgent*> remote_pool;
+  // Shared fabric: remote latency becomes a function of cluster traffic.
+  PageTransport* fabric = nullptr;
+  // Placement policy override (non-owning; default power-of-two-choices).
+  SlabPlacer* placer = nullptr;
+  // This machine's uplink id on the fabric.
+  uint32_t host_id = 0;
+};
+
 enum class AccessType {
   kLocalHit,      // page already mapped
   kMinorFault,    // first touch, no backing store involved
@@ -107,6 +128,7 @@ struct AccessResult {
 class Machine {
  public:
   explicit Machine(const MachineConfig& config);
+  Machine(const MachineConfig& config, const MachineEnv& env);
 
   // Registers a process with a cgroup limit (0 = unlimited).
   Pid CreateProcess(size_t cgroup_limit_pages);
@@ -134,6 +156,10 @@ class Machine {
   size_t resident_pages(Pid pid) const;
   bool IsResident(Pid pid, Vpn vpn) const;
   SwapManager& swap() { return swap_; }
+  // Per-tenant footprint on the backing medium (remote slabs / swap).
+  size_t swapped_pages(Pid pid) const { return swap_.SlotsOf(pid); }
+  // This machine's uplink id when cluster-wired (0 standalone).
+  uint32_t host_id() const { return host_id_; }
 
  private:
   struct ProcessState {
@@ -207,8 +233,12 @@ class Machine {
 
   MachineConfig config_;
   Rng rng_;
-  EventQueue events_;
+  // Clock: own queue standalone; a cluster injects a shared one so every
+  // host's background events interleave on one timeline.
+  EventQueue owned_events_;
+  EventQueue* events_;
   SimTimeNs last_event_drain_ = 0;
+  uint32_t host_id_ = 0;
 
   FramePool frames_;
   PageCache cache_;
@@ -216,9 +246,11 @@ class Machine {
   PrefetchFifoLruList prefetch_fifo_;  // eager policy bookkeeping
   size_t stale_count_ = 0;             // consumed entries awaiting kswapd
 
-  std::vector<std::unique_ptr<RemoteAgent>> remote_nodes_;
+  std::vector<std::unique_ptr<RemoteAgent>> remote_nodes_;  // owned donors
   std::unique_ptr<HostAgent> host_agent_;
   std::unique_ptr<BackingStore> local_store_;  // hdd/ssd when not remote
+  // Degradation target when the donor pool is out of slabs (remote runs).
+  std::unique_ptr<BackingStore> overflow_store_;
   BackingStore* store_ = nullptr;
   std::unique_ptr<DataPath> data_path_;
   std::unique_ptr<Prefetcher> prefetcher_;

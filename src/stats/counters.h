@@ -35,6 +35,19 @@ enum class CounterId : uint8_t {
   kLruScans,
   kRemoteReads,
   kRemoteWrites,
+  // Cluster / remote-pool events (PR 2).
+  kRemoteCapacityExhausted,  // slab found no free node anywhere: degraded
+  kOverflowReads,            // reads served by the overflow medium
+  kOverflowWrites,           // writes absorbed by the overflow medium
+  kRemoteFailovers,          // reads redirected to a replica (primary down)
+  kRemoteReadsLost,          // reads with every replica down (penalty path)
+  kRemoteWritesLost,         // writes with every replica down
+  kSlabRepairs,              // slabs re-mapped after a node failure
+  kRepairPageCopies,         // pages re-replicated during repair
+  kNodeFailures,             // memory-node failure events (scenario hook)
+  kNodeRecoveries,           // memory-node recovery events
+  kHostJoins,                // hosts added to the cluster
+  kHostLeaves,               // hosts removed from the cluster
   kCount,
 };
 
@@ -59,6 +72,19 @@ constexpr const char* CounterName(CounterId id) {
     case CounterId::kLruScans: return "lru_pages_scanned";
     case CounterId::kRemoteReads: return "remote_reads";
     case CounterId::kRemoteWrites: return "remote_writes";
+    case CounterId::kRemoteCapacityExhausted:
+      return "remote_capacity_exhausted";
+    case CounterId::kOverflowReads: return "overflow_reads";
+    case CounterId::kOverflowWrites: return "overflow_writes";
+    case CounterId::kRemoteFailovers: return "remote_read_failovers";
+    case CounterId::kRemoteReadsLost: return "remote_reads_lost";
+    case CounterId::kRemoteWritesLost: return "remote_writes_lost";
+    case CounterId::kSlabRepairs: return "slab_repairs";
+    case CounterId::kRepairPageCopies: return "repair_page_copies";
+    case CounterId::kNodeFailures: return "node_failures";
+    case CounterId::kNodeRecoveries: return "node_recoveries";
+    case CounterId::kHostJoins: return "host_joins";
+    case CounterId::kHostLeaves: return "host_leaves";
     case CounterId::kCount: break;
   }
   return "unknown";
@@ -116,6 +142,19 @@ inline constexpr CounterId kEagerFrees = CounterId::kEagerFrees;
 inline constexpr CounterId kLruScans = CounterId::kLruScans;
 inline constexpr CounterId kRemoteReads = CounterId::kRemoteReads;
 inline constexpr CounterId kRemoteWrites = CounterId::kRemoteWrites;
+inline constexpr CounterId kRemoteCapacityExhausted =
+    CounterId::kRemoteCapacityExhausted;
+inline constexpr CounterId kOverflowReads = CounterId::kOverflowReads;
+inline constexpr CounterId kOverflowWrites = CounterId::kOverflowWrites;
+inline constexpr CounterId kRemoteFailovers = CounterId::kRemoteFailovers;
+inline constexpr CounterId kRemoteReadsLost = CounterId::kRemoteReadsLost;
+inline constexpr CounterId kRemoteWritesLost = CounterId::kRemoteWritesLost;
+inline constexpr CounterId kSlabRepairs = CounterId::kSlabRepairs;
+inline constexpr CounterId kRepairPageCopies = CounterId::kRepairPageCopies;
+inline constexpr CounterId kNodeFailures = CounterId::kNodeFailures;
+inline constexpr CounterId kNodeRecoveries = CounterId::kNodeRecoveries;
+inline constexpr CounterId kHostJoins = CounterId::kHostJoins;
+inline constexpr CounterId kHostLeaves = CounterId::kHostLeaves;
 }  // namespace counter
 
 }  // namespace leap

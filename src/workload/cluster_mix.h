@@ -1,0 +1,35 @@
+// Canonical mixed workload for cluster runs: hosts cycle through
+// zipf-0.99 (skewed key-value traffic), sequential (streaming scan), and
+// a trace replay of stride-8 (captured once, replayed bit-identically) -
+// so the shared donor pool sees skewed, streaming, and replayed traffic
+// at the same time. Tests and the fig13_cluster bench share this single
+// definition so the bench's claims stay validated by the tests.
+#ifndef LEAP_SRC_WORKLOAD_CLUSTER_MIX_H_
+#define LEAP_SRC_WORKLOAD_CLUSTER_MIX_H_
+
+#include <memory>
+
+#include "src/workload/patterns.h"
+#include "src/workload/trace.h"
+
+namespace leap {
+
+inline std::unique_ptr<AccessStream> MakeClusterMixStream(
+    size_t host, size_t footprint_pages, SimTimeNs think_ns = 300) {
+  switch (host % 3) {
+    case 0:
+      return std::make_unique<ZipfStream>(footprint_pages, 0.99, think_ns);
+    case 1:
+      return std::make_unique<SequentialStream>(footprint_pages, think_ns);
+    default: {
+      StrideStream stride(footprint_pages, 8, think_ns);
+      Rng rng(5);
+      return std::make_unique<TraceReplayStream>(
+          Trace::Capture(stride, 4000, rng));
+    }
+  }
+}
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_WORKLOAD_CLUSTER_MIX_H_

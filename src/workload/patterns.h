@@ -6,6 +6,7 @@
 #include <numeric>
 #include <string>
 
+#include "src/sim/zipf.h"
 #include "src/workload/access_stream.h"
 
 namespace leap {
@@ -76,6 +77,29 @@ class StrideStream : public AccessStream {
   SimTimeNs think_ns_;
   Vpn next_ = 0;
   size_t lane_ = 0;
+};
+
+// Zipf-skewed page touches (the "mostly random" production pattern; used
+// as one leg of the cluster's mixed workloads).
+class ZipfStream : public AccessStream {
+ public:
+  ZipfStream(size_t footprint_pages, double theta, SimTimeNs think_ns = 0)
+      : footprint_(footprint_pages),
+        zipf_(footprint_pages, theta),
+        think_ns_(think_ns) {}
+
+  MemOp Next(Rng& rng) override {
+    return MemOp{zipf_.Sample(rng), false, think_ns_, true};
+  }
+  size_t footprint_pages() const override { return footprint_; }
+  std::string name() const override {
+    return "zipf-" + std::to_string(zipf_.theta()).substr(0, 4);
+  }
+
+ private:
+  size_t footprint_;
+  ZipfSampler zipf_;
+  SimTimeNs think_ns_;
 };
 
 // Uniformly random page touches.

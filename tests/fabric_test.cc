@@ -1,0 +1,142 @@
+// Unit tests for the shared cluster fabric: per-link serialization and
+// queuing, incast congestion as a function of in-flight bytes, host join,
+// and bit-determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/cluster/fabric.h"
+
+namespace leap {
+namespace {
+
+// Deterministic base latency: stddev 0 collapses the Normal sample onto
+// its mean, so completion times are exact functions of the op sequence.
+FabricConfig FlatConfig() {
+  FabricConfig config;
+  config.base_mean_ns = 1000;
+  config.base_stddev_ns = 0;
+  config.base_min_ns = 0;
+  // Disable congestion unless a test opts in.
+  config.congestion_free_bytes = 1ULL << 40;
+  return config;
+}
+
+TEST(Fabric, SharedDownlinkSerializesContendingHosts) {
+  Fabric fabric(FlatConfig(), /*num_hosts=*/2, /*num_nodes=*/1);
+  Rng rng(1);
+  const SimTimeNs first = fabric.SubmitPageOp(0, 0, 0, rng);
+  const SimTimeNs second = fabric.SubmitPageOp(1, 0, 0, rng);
+  // Distinct uplinks, same downlink: the second op queues one
+  // serialization slot behind the first.
+  EXPECT_EQ(second - first, fabric.serialization_ns());
+  EXPECT_EQ(first, fabric.serialization_ns() + 1000);
+}
+
+TEST(Fabric, IndependentDownlinksDoNotQueueOnEachOther) {
+  Fabric fabric(FlatConfig(), 2, 2);
+  Rng rng(1);
+  const SimTimeNs a = fabric.SubmitPageOp(0, 0, 0, rng);
+  const SimTimeNs b = fabric.SubmitPageOp(1, 1, 0, rng);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fabric, UplinkSerializesOneHostsOps) {
+  Fabric fabric(FlatConfig(), 1, 2);
+  Rng rng(1);
+  const SimTimeNs a = fabric.SubmitPageOp(0, 0, 0, rng);
+  const SimTimeNs b = fabric.SubmitPageOp(0, 1, 0, rng);
+  // Different nodes, same host: the uplink paces them.
+  EXPECT_EQ(b - a, fabric.serialization_ns());
+}
+
+TEST(Fabric, CongestionGrowsWithInflightBytes) {
+  FabricConfig config = FlatConfig();
+  config.congestion_free_bytes = 8 * 1024;  // ~2 ops of allowance
+  config.congestion_ns_per_kb = 50.0;
+  Fabric fabric(config, 4, 1);
+  Rng rng(1);
+
+  // Blast 32 ops at t=0 from four hosts at one node: later ops must pay
+  // more than pure serialization queuing.
+  SimTimeNs prev = 0;
+  SimTimeNs max_gap = 0;
+  for (int i = 0; i < 32; ++i) {
+    const SimTimeNs done =
+        fabric.SubmitPageOp(static_cast<uint32_t>(i % 4), 0, 0, rng);
+    if (i > 0) {
+      max_gap = std::max(max_gap, done - prev);
+    }
+    prev = done;
+  }
+  // Without congestion, consecutive completions are exactly one
+  // serialization slot apart; the growing in-flight backlog must stretch
+  // at least one gap beyond that.
+  EXPECT_GT(max_gap, fabric.serialization_ns());
+  EXPECT_GT(fabric.queue_delay_hist().Max(),
+            31 * fabric.serialization_ns());
+}
+
+TEST(Fabric, IdleLinkDrainsInflightAndCongestion) {
+  FabricConfig config = FlatConfig();
+  config.congestion_free_bytes = 0;
+  config.congestion_ns_per_kb = 50.0;
+  Fabric fabric(config, 1, 1);
+  Rng rng(1);
+  for (int i = 0; i < 8; ++i) {
+    fabric.SubmitPageOp(0, 0, 0, rng);
+  }
+  // Far in the future every in-flight byte has landed: an op sees an
+  // uncontended link again.
+  const SimTimeNs later = 1 * kNsPerSec;
+  const SimTimeNs done = fabric.SubmitPageOp(0, 0, later, rng);
+  EXPECT_EQ(done - later, fabric.serialization_ns() + 1000);
+}
+
+TEST(Fabric, AddHostGrowsUplinkSet) {
+  Fabric fabric(FlatConfig(), 1, 1);
+  EXPECT_EQ(fabric.num_hosts(), 1u);
+  const uint32_t id = fabric.AddHost();
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(fabric.num_hosts(), 2u);
+  Rng rng(1);
+  const SimTimeNs a = fabric.SubmitPageOp(0, 0, 0, rng);
+  const SimTimeNs b = fabric.SubmitPageOp(1, 0, 0, rng);
+  EXPECT_EQ(b - a, fabric.serialization_ns());  // shares the downlink
+}
+
+TEST(Fabric, PerLinkAccountingSumsToTotals) {
+  Fabric fabric(FlatConfig(), 2, 2);
+  Rng rng(3);
+  fabric.SubmitPageOp(0, 0, 0, rng);
+  fabric.SubmitPageOp(0, 1, 0, rng);
+  fabric.SubmitPageOp(1, 1, 0, rng);
+  EXPECT_EQ(fabric.ops(), 3u);
+  EXPECT_EQ(fabric.host_ops(0), 2u);
+  EXPECT_EQ(fabric.host_ops(1), 1u);
+  EXPECT_EQ(fabric.node_ops(0), 1u);
+  EXPECT_EQ(fabric.node_ops(1), 2u);
+  EXPECT_EQ(fabric.queue_delay_hist().count(), 3u);
+}
+
+TEST(Fabric, SameSeedBitIdentical) {
+  FabricConfig config;  // defaults: sampled base latency, real congestion
+  std::vector<SimTimeNs> first;
+  std::vector<SimTimeNs> second;
+  for (std::vector<SimTimeNs>* out : {&first, &second}) {
+    Fabric fabric(config, 4, 2);
+    Rng rng(99);
+    SimTimeNs now = 0;
+    for (int i = 0; i < 500; ++i) {
+      out->push_back(fabric.SubmitPageOp(static_cast<uint32_t>(i % 4),
+                                         static_cast<uint32_t>(i % 2), now,
+                                         rng));
+      now += 100;
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace leap

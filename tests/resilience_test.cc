@@ -39,6 +39,33 @@ TEST(Resilience, WritesSurvivePrimaryFailure) {
   }
 }
 
+TEST(Resilience, WritesDuringFailureSurviveRecovery) {
+  // Standalone agent (no cluster repair): a replica that is down for a
+  // write must not resurrect its stale copy after recovery.
+  RemoteAgent node_a(0, 256);
+  RemoteAgent node_b(1, 256);
+  HostAgentConfig config;
+  config.replicas = 2;
+  config.slab_pages = 64;
+  HostAgent agent(config, {&node_a, &node_b}, 11);
+  Rng rng(11);
+
+  for (SwapSlot slot = 0; slot < 128; ++slot) {
+    agent.WriteTag(slot, slot + 1000, 0, rng);
+  }
+  // Whichever node is the primary, fail it, overwrite, recover.
+  node_a.Fail();
+  for (SwapSlot slot = 0; slot < 128; slot += 2) {
+    agent.WriteTag(slot, slot + 2000, 0, rng);
+  }
+  node_a.Recover();
+  for (SwapSlot slot = 0; slot < 128; ++slot) {
+    const uint64_t expected =
+        slot % 2 == 0 ? slot + 2000 : slot + 1000;
+    ASSERT_EQ(agent.ReadTag(slot), expected) << "slot " << slot;
+  }
+}
+
 TEST(Resilience, SingleReplicaLosesDataOnFailure) {
   // Control: with replication disabled, a node failure loses pages -
   // demonstrating that the default replication actually does the work.
