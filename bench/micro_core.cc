@@ -73,7 +73,7 @@ void BM_LeapOnAccess_Sequential(benchmark::State& state) {
   SwapSlot addr = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(prefetcher.OnMiss(addr++));
-    prefetcher.OnPrefetchHit();
+    prefetcher.OnPrefetchHit(addr);
   }
 }
 BENCHMARK(BM_LeapOnAccess_Sequential)->Arg(32)->Arg(128)->Arg(512);

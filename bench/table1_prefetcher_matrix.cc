@@ -16,7 +16,7 @@ namespace leap {
 namespace {
 
 // Wall-clock cost of one OnFault decision, averaged over a mixed stream.
-double MeasureNsPerDecision(Prefetcher& prefetcher) {
+double MeasureNsPerDecision(PrefetchPolicy& policy) {
   Rng rng(7);
   // Mixed access stream: sequential, strided, and random segments.
   std::vector<SwapSlot> stream;
@@ -38,7 +38,7 @@ double MeasureNsPerDecision(Prefetcher& prefetcher) {
   const auto start = std::chrono::steady_clock::now();
   size_t sink = 0;
   for (SwapSlot slot : stream) {
-    sink += prefetcher.OnFault(1, slot).size();
+    sink += policy.OnFault({1, slot}).size();
   }
   const auto end = std::chrono::steady_clock::now();
   // Keep the optimizer honest.

@@ -68,7 +68,7 @@ int main() {
     }
     const leap::PrefetchDecision d = prefetcher.OnMiss(page);
     for (size_t i = 0; i < d.pages.size(); ++i) {
-      prefetcher.OnPrefetchHit();
+      prefetcher.OnPrefetchHit(d.pages[i]);
     }
     std::printf("access %llu:\n", static_cast<unsigned long long>(page));
     PrintState(prefetcher, d);

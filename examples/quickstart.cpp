@@ -29,7 +29,7 @@ int main() {
     const leap::PrefetchDecision d = prefetcher.OnMiss(accesses[t]);
     // Pretend every prefetched page gets used, so the window opens up.
     for (size_t i = 0; i < d.pages.size(); ++i) {
-      prefetcher.OnPrefetchHit();
+      prefetcher.OnPrefetchHit(d.pages[i]);
     }
     std::string pages;
     for (leap::SwapSlot page : d.pages) {

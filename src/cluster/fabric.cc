@@ -95,7 +95,12 @@ SimTimeNs Fabric::SubmitPageOp(uint32_t host, uint32_t node, SimTimeNs now,
   ++ops_;
   ++up.ops;
   ++down.ops;
-  queue_delay_hist_.Record((wire_start - now) + congestion);
+  const SimTimeNs queue_delay = (wire_start - now) + congestion;
+  queue_delay_hist_.Record(queue_delay);
+  // EWMA with alpha = 1/32: smooth enough to ride out single-op spikes,
+  // fast enough that a congestion epoch (hundreds of ops) dominates it.
+  queue_delay_ewma_ns_ +=
+      (static_cast<double>(queue_delay) - queue_delay_ewma_ns_) / 32.0;
   return done;
 }
 

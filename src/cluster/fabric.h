@@ -75,6 +75,10 @@ class Fabric : public PageTransport {
   // contention signal the cluster bench reports (p99 rises with hosts).
   Histogram& queue_delay_hist() { return queue_delay_hist_; }
   const Histogram& queue_delay_hist() const { return queue_delay_hist_; }
+  // Continuously-maintained EWMA of the same quantity (alpha = 1/32),
+  // snapshotted into CongestionSignals on every fault: the feedback input
+  // for congestion-aware prefetch budgets.
+  double QueueDelayEwmaNs() const override { return queue_delay_ewma_ns_; }
 
  private:
   // Expected in-flight completion, kept in a FIFO ring (downlinks only:
@@ -104,6 +108,7 @@ class Fabric : public PageTransport {
   std::vector<Link> downlinks_;  // one per memory node
   uint64_t ops_ = 0;
   Histogram queue_delay_hist_;
+  double queue_delay_ewma_ns_ = 0.0;
 };
 
 }  // namespace leap

@@ -52,11 +52,21 @@ class LeapPrefetcher {
   PrefetchDecision OnMiss(SwapSlot pt);
 
   // Called when a page this prefetcher brought in gets its first hit.
-  void OnPrefetchHit() { window_.OnPrefetchHit(); }
+  // `slot` identifies the page, so hit feedback stays per-page instead of
+  // being aggregated away: the last hit slot (and its distance from the
+  // faulting edge) is available to outcome-driven consumers.
+  void OnPrefetchHit(SwapSlot slot) {
+    window_.OnPrefetchHit();
+    last_hit_slot_ = slot;
+    ++prefetch_hits_;
+  }
 
   const AccessHistory& history() const { return history_; }
   const PrefetchWindow& window() const { return window_; }
   std::optional<PageDelta> last_trend() const { return last_trend_; }
+  // Most recent prefetched page that earned a hit (per-page feedback).
+  std::optional<SwapSlot> last_hit_slot() const { return last_hit_slot_; }
+  uint64_t prefetch_hits() const { return prefetch_hits_; }
 
  private:
   AccessHistory history_;
@@ -68,6 +78,9 @@ class LeapPrefetcher {
   // Most recent non-empty majority delta, used for speculative prefetch
   // when the current window has no majority.
   std::optional<PageDelta> last_trend_;
+  // Per-page hit feedback (threaded through from the machine's cache).
+  std::optional<SwapSlot> last_hit_slot_;
+  uint64_t prefetch_hits_ = 0;
 };
 
 }  // namespace leap

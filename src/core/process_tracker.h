@@ -34,8 +34,11 @@ class ProcessPageTracker {
     ForProcess(pid).RecordAccess(slot);
   }
 
-  // Credits a prefetched-page hit to the owning process's window sizing.
-  void OnPrefetchHit(Pid pid) { ForProcess(pid).OnPrefetchHit(); }
+  // Credits a prefetched-page hit (on `slot`) to the owning process's
+  // window sizing and per-page hit state.
+  void OnPrefetchHit(Pid pid, SwapSlot slot) {
+    ForProcess(pid).OnPrefetchHit(slot);
+  }
 
   LeapPrefetcher& ForProcess(Pid pid) {
     auto [slot, inserted] = trackers_.Emplace(pid);

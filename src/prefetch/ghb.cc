@@ -8,7 +8,9 @@ GhbPrefetcher::GhbPrefetcher(const GhbConfig& config) : config_(config) {
   buffer_.reserve(config_.buffer_size);
 }
 
-CandidateVec GhbPrefetcher::OnFault(Pid pid, SwapSlot slot) {
+CandidateVec GhbPrefetcher::OnFault(const FaultContext& ctx) {
+  const Pid pid = ctx.pid;
+  const SwapSlot slot = ctx.slot;
   CandidateVec candidates;
 
   SwapSlot* last = last_addr_.Find(pid);

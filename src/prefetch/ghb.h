@@ -25,13 +25,12 @@ struct GhbConfig {
   size_t max_chains = 2;     // correlation chains followed per fault
 };
 
-class GhbPrefetcher : public Prefetcher {
+class GhbPrefetcher : public PrefetchPolicy {
  public:
   explicit GhbPrefetcher(const GhbConfig& config = GhbConfig());
 
-  CandidateVec OnFault(Pid pid, SwapSlot slot) override;
-  void OnPrefetchHit(Pid, SwapSlot) override {}
-  std::string name() const override { return "ghb"; }
+  CandidateVec OnFault(const FaultContext& ctx) override;
+  std::string_view name() const override { return "ghb"; }
 
   size_t buffer_entries() const { return buffer_.size(); }
 

@@ -8,13 +8,13 @@
 
 namespace leap {
 
-class LeapAdapter : public Prefetcher {
+class LeapAdapter : public PrefetchPolicy {
  public:
   explicit LeapAdapter(const LeapParams& params = LeapParams())
       : tracker_(params) {}
 
-  CandidateVec OnFault(Pid pid, SwapSlot slot) override {
-    last_decision_ = tracker_.OnFault(pid, slot);
+  CandidateVec OnFault(const FaultContext& ctx) override {
+    last_decision_ = tracker_.OnFault(ctx.pid, ctx.slot);
     return last_decision_.pages;
   }
 
@@ -23,11 +23,11 @@ class LeapAdapter : public Prefetcher {
     tracker_.OnCacheAccess(pid, slot);
   }
 
-  void OnPrefetchHit(Pid pid, SwapSlot) override {
-    tracker_.OnPrefetchHit(pid);
+  void OnPrefetchHit(Pid pid, SwapSlot slot, SimTimeNs) override {
+    tracker_.OnPrefetchHit(pid, slot);
   }
 
-  std::string name() const override { return "leap"; }
+  std::string_view name() const override { return "leap"; }
 
   // Introspection for tests and the pattern-explorer example.
   const PrefetchDecision& last_decision() const { return last_decision_; }

@@ -2,10 +2,10 @@
 
 namespace leap {
 
-CandidateVec NextNLinePrefetcher::OnFault(Pid, SwapSlot slot) {
+CandidateVec NextNLinePrefetcher::OnFault(const FaultContext& ctx) {
   CandidateVec pages;
   for (size_t i = 1; i <= n_; ++i) {
-    pages.push_back(slot + i);
+    pages.push_back(ctx.slot + i);
   }
   return pages;
 }

@@ -8,14 +8,13 @@
 
 namespace leap {
 
-class NextNLinePrefetcher : public Prefetcher {
+class NextNLinePrefetcher : public PrefetchPolicy {
  public:
   explicit NextNLinePrefetcher(size_t n = 8)
       : n_(n < kMaxPrefetchCandidates ? n : kMaxPrefetchCandidates) {}
 
-  CandidateVec OnFault(Pid pid, SwapSlot slot) override;
-  void OnPrefetchHit(Pid, SwapSlot) override {}
-  std::string name() const override { return "next-n-line"; }
+  CandidateVec OnFault(const FaultContext& ctx) override;
+  std::string_view name() const override { return "next-n-line"; }
 
  private:
   size_t n_;

@@ -1,43 +1,94 @@
-// Prefetcher interface shared by Leap and the three baselines the paper
-// evaluates against (section 5.2.3): Next-N-Line, Stride, and Linux
-// Read-Ahead.
+// PrefetchPolicy v2: context-rich, feedback-driven prefetch interface.
+//
+// v1 was a context-free candidate generator - OnFault(pid, slot) saw no
+// clock, no memory pressure, no fabric state, and never learned whether its
+// prefetches completed, hit, or were evicted unconsumed. v2 drives every
+// policy (Leap and the section 5.2.3 baselines: Next-N-Line, Stride, Linux
+// Read-Ahead, plus GHB) through a FaultContext carrying the machine and
+// cluster state a policy may condition on, and closes the loop with a full
+// outcome-feedback path wired from the page-cache lifecycle. See
+// src/prefetch/README.md for the contract.
 #ifndef LEAP_SRC_PREFETCH_PREFETCHER_H_
 #define LEAP_SRC_PREFETCH_PREFETCHER_H_
 
-#include <string>
+#include <string_view>
 
 #include "src/sim/types.h"
 
 namespace leap {
 
-class Prefetcher {
+// Everything a prefetch policy may condition one decision on. The
+// CongestionSignals snapshot (src/sim/types.h) is published by HostAgent:
+// fabric-bound hosts see the shared fabric's state; standalone hosts see
+// zeros. The two-arg
+// constructor exists so unit tests and decision-cost benches can drive a
+// policy without a machine: OnFault({pid, slot}).
+struct FaultContext {
+  Pid pid = 0;
+  SwapSlot slot = kInvalidSlot;
+  // Absolute simulated time of the fault.
+  SimTimeNs now = 0;
+  // Free-frame pressure: frames available / total DRAM frames.
+  size_t free_frames = 0;
+  size_t total_frames = 0;
+  // Prefetched cache pages not yet hit (pollution currently at risk).
+  size_t inflight_prefetches = 0;
+  // Candidate cap the budget governor will enforce for this fault
+  // (kMaxPrefetchCandidates when no governor is active). Policies can use
+  // it to stop generating candidates that would be clamped anyway.
+  size_t budget_remaining = kMaxPrefetchCandidates;
+  CongestionSignals congestion;
+
+  FaultContext() = default;
+  FaultContext(Pid p, SwapSlot s, SimTimeNs t = 0)
+      : pid(p), slot(s), now(t) {}
+};
+
+class PrefetchPolicy {
  public:
-  virtual ~Prefetcher() = default;
+  virtual ~PrefetchPolicy() = default;
 
   // Called on every cache MISS (the swapin_readahead position in the fault
   // path). Returns backing-store offsets to prefetch alongside the demand
-  // page; never includes `slot` itself. The result is a fixed-capacity
+  // page; never includes ctx.slot itself. The result is a fixed-capacity
   // inline vector (no heap allocation); implementations clamp their
   // aggressiveness knobs to kMaxPrefetchCandidates.
-  virtual CandidateVec OnFault(Pid pid, SwapSlot slot) = 0;
+  virtual CandidateVec OnFault(const FaultContext& ctx) = 0;
 
   // Called on every remote access served from the page cache. Leap's page
   // access tracker hooks do_swap_page, so its delta history sees hits too
-  // (section 4.1); legacy prefetchers ignore this.
+  // (section 4.1); legacy policies ignore this.
   virtual void OnCacheAccess(Pid, SwapSlot) {}
 
-  // Notification that a page this prefetcher brought in got its first hit.
-  virtual void OnPrefetchHit(Pid pid, SwapSlot slot) = 0;
+  // --- outcome feedback ---------------------------------------------------
+  // The machine's cache lifecycle reports what became of every prefetch
+  // this policy asked for. Exactly one of Hit / Dropped eventually follows
+  // each Issued; Complete always follows Issued (in the discrete-event
+  // simulation the completion time is known at issue, so Complete fires
+  // immediately after Issued with the prefetch's I/O latency).
 
-  virtual std::string name() const = 0;
+  // A candidate survived filtering+budget and its read was submitted.
+  virtual void OnPrefetchIssued(Pid, SwapSlot, SimTimeNs /*now*/) {}
+  // The prefetch read finished `latency` ns after issue.
+  virtual void OnPrefetchComplete(Pid, SwapSlot, SimTimeNs /*latency*/) {}
+  // First hit on a prefetched page; `timeliness` = inserted -> first hit
+  // (the Figure 10b quantity). A small value means the demand access
+  // arrived before (or shortly after) the data - prefetching barely ahead
+  // of need, the 3PO timing signal.
+  virtual void OnPrefetchHit(Pid, SwapSlot, SimTimeNs /*timeliness*/) {}
+  // The page was evicted without ever being hit: pure pollution.
+  virtual void OnPrefetchDropped(Pid, SwapSlot) {}
+
+  // Stable policy name; must view a string with static storage duration
+  // (stats paths call this per row and must not allocate).
+  virtual std::string_view name() const = 0;
 };
 
-// Null prefetcher: demand paging only.
-class NoPrefetcher : public Prefetcher {
+// Null policy: demand paging only.
+class NoPrefetcher : public PrefetchPolicy {
  public:
-  CandidateVec OnFault(Pid, SwapSlot) override { return {}; }
-  void OnPrefetchHit(Pid, SwapSlot) override {}
-  std::string name() const override { return "none"; }
+  CandidateVec OnFault(const FaultContext&) override { return {}; }
+  std::string_view name() const override { return "none"; }
 };
 
 }  // namespace leap

@@ -4,8 +4,9 @@
 
 namespace leap {
 
-CandidateVec ReadAheadPrefetcher::OnFault(Pid pid, SwapSlot slot) {
-  State& s = states_[pid];
+CandidateVec ReadAheadPrefetcher::OnFault(const FaultContext& ctx) {
+  const SwapSlot slot = ctx.slot;
+  State& s = states_[ctx.pid];
 
   if (s.last == kInvalidSlot) {
     s.window = min_window_;
@@ -41,7 +42,7 @@ CandidateVec ReadAheadPrefetcher::OnFault(Pid pid, SwapSlot slot) {
   return pages;
 }
 
-void ReadAheadPrefetcher::OnPrefetchHit(Pid pid, SwapSlot) {
+void ReadAheadPrefetcher::OnPrefetchHit(Pid pid, SwapSlot, SimTimeNs) {
   ++states_[pid].hits_since_issue;
 }
 

@@ -17,7 +17,7 @@
 
 namespace leap {
 
-class ReadAheadPrefetcher : public Prefetcher {
+class ReadAheadPrefetcher : public PrefetchPolicy {
  public:
   // Both windows are clamped to the candidate cap, and max >= min, so a
   // generated cluster always fits the fixed-capacity CandidateVec and the
@@ -34,9 +34,9 @@ class ReadAheadPrefetcher : public Prefetcher {
     }
   }
 
-  CandidateVec OnFault(Pid pid, SwapSlot slot) override;
-  void OnPrefetchHit(Pid pid, SwapSlot slot) override;
-  std::string name() const override { return "read-ahead"; }
+  CandidateVec OnFault(const FaultContext& ctx) override;
+  void OnPrefetchHit(Pid pid, SwapSlot slot, SimTimeNs timeliness) override;
+  std::string_view name() const override { return "read-ahead"; }
 
  private:
   struct State {

@@ -4,8 +4,9 @@
 
 namespace leap {
 
-CandidateVec StridePrefetcher::OnFault(Pid pid, SwapSlot slot) {
-  Stream& s = streams_[pid];
+CandidateVec StridePrefetcher::OnFault(const FaultContext& ctx) {
+  const SwapSlot slot = ctx.slot;
+  Stream& s = streams_[ctx.pid];
   CandidateVec pages;
 
   if (s.last != kInvalidSlot) {
@@ -43,7 +44,7 @@ CandidateVec StridePrefetcher::OnFault(Pid pid, SwapSlot slot) {
   return pages;
 }
 
-void StridePrefetcher::OnPrefetchHit(Pid pid, SwapSlot) {
+void StridePrefetcher::OnPrefetchHit(Pid pid, SwapSlot, SimTimeNs) {
   ++streams_[pid].hits_since_issue;
 }
 

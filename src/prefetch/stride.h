@@ -11,15 +11,15 @@
 
 namespace leap {
 
-class StridePrefetcher : public Prefetcher {
+class StridePrefetcher : public PrefetchPolicy {
  public:
   explicit StridePrefetcher(size_t max_depth = 8)
       : max_depth_(max_depth < kMaxPrefetchCandidates ? max_depth
                                                       : kMaxPrefetchCandidates) {}
 
-  CandidateVec OnFault(Pid pid, SwapSlot slot) override;
-  void OnPrefetchHit(Pid pid, SwapSlot slot) override;
-  std::string name() const override { return "stride"; }
+  CandidateVec OnFault(const FaultContext& ctx) override;
+  void OnPrefetchHit(Pid pid, SwapSlot slot, SimTimeNs timeliness) override;
+  std::string_view name() const override { return "stride"; }
 
  private:
   struct Stream {

@@ -19,6 +19,7 @@ HostAgent::~HostAgent() = default;
 
 void HostAgent::BindFabric(PageTransport* fabric, uint32_t host_id) {
   host_id_ = host_id;
+  fabric_ = fabric;
   nic_.BindFabric(fabric, host_id);
 }
 
@@ -72,6 +73,7 @@ void HostAgent::EnsureSlabMapped(SwapSlot slot) {
       // the overflow medium. A counted event, not a silent fallback.
       mapping.overflow = true;
       ++overflow_slabs_;
+      ++capacity_exhausted_events_;
       Count(counter::kRemoteCapacityExhausted);
     }
     slab_map_.push_back(std::move(mapping));
@@ -236,6 +238,7 @@ size_t HostAgent::RepairSlabsAfterFailure(uint32_t failed_node,
         nodes_, mapping.nodes, host_id_, slab, placement_rng_);
     if (replacement == SlabPlacer::kNoNode) {
       // Degraded: the slab keeps running with fewer replicas.
+      ++capacity_exhausted_events_;
       Count(counter::kRemoteCapacityExhausted);
       continue;
     }

@@ -78,6 +78,18 @@ class HostAgent : public BackingStore {
   void SetOverflowStore(BackingStore* store) { overflow_store_ = store; }
   uint32_t host_id() const { return host_id_; }
 
+  // Congestion snapshot for prefetch policies (FaultContext::congestion):
+  // the bound fabric's queue-delay EWMA (0 standalone) plus this agent's
+  // cumulative capacity-exhaustion ticks. Two loads; called per fault.
+  CongestionSignals congestion_signals() const {
+    CongestionSignals signals;
+    if (fabric_ != nullptr) {
+      signals.queue_delay_ewma_ns = fabric_->QueueDelayEwmaNs();
+    }
+    signals.capacity_exhausted_total = capacity_exhausted_events_;
+    return signals;
+  }
+
   // Re-maps every slab with a replica on `failed_node` and re-replicates
   // its pages from a surviving replica (repair traffic rides the NIC /
   // fabric at `now`). Returns the number of slabs repaired.
@@ -133,6 +145,8 @@ class HostAgent : public BackingStore {
   std::unique_ptr<SlabPlacer> default_placer_;  // power-of-two-choices
   SlabPlacer* placer_;                          // never null
   Counters* counters_ = nullptr;
+  PageTransport* fabric_ = nullptr;  // congestion telemetry source
+  uint64_t capacity_exhausted_events_ = 0;
   BackingStore* overflow_store_ = nullptr;
   // Tags for overflow slabs (the overflow store holds payloads in real
   // life; here, tags keyed by slot like the nodes do).

@@ -37,6 +37,11 @@ class PageTransport {
   // the completion time.
   virtual SimTimeNs SubmitPageOp(uint32_t src_host, uint32_t dst_node,
                                  SimTimeNs now, Rng& rng) = 0;
+
+  // Congestion telemetry: EWMA of per-op queue delay (link-slot wait plus
+  // incast stall), in ns. Published to prefetch policies through
+  // HostAgent::congestion_signals(); transports without queueing report 0.
+  virtual double QueueDelayEwmaNs() const { return 0.0; }
 };
 
 struct RdmaNicConfig {

@@ -11,7 +11,7 @@
 namespace leap {
 namespace {
 
-std::unique_ptr<Prefetcher> MakePrefetcher(const MachineConfig& config) {
+std::unique_ptr<PrefetchPolicy> MakePolicy(const MachineConfig& config) {
   switch (config.prefetcher) {
     case PrefetchKind::kNone:
       return std::make_unique<NoPrefetcher>();
@@ -82,9 +82,82 @@ Machine::Machine(const MachineConfig& config, const MachineEnv& env)
   } else {
     data_path_ = std::make_unique<LeapDataPath>(config_.leap_path, store_);
   }
-  prefetcher_ = MakePrefetcher(config_);
+  policy_ = MakePolicy(config_);
+  if (config_.budget.enabled) {
+    governor_ = std::make_unique<BudgetGovernor>(config_.budget, &swap_);
+  }
   kswapd_scratch_.reserve(config_.kswapd_scan_batch);
   ScheduleKswapd(config_.kswapd_period_ns);
+}
+
+FaultContext Machine::MakeFaultContext(Pid pid, SwapSlot slot,
+                                       SimTimeNs now) {
+  FaultContext ctx(pid, slot, now);
+  ctx.free_frames = frames_.free_count();
+  ctx.total_frames = config_.total_frames;
+  ctx.inflight_prefetches = unconsumed_prefetched_;
+  if (host_agent_ != nullptr) {
+    ctx.congestion = host_agent_->congestion_signals();
+  }
+  if (governor_ != nullptr) {
+    ctx.budget_remaining = governor_->BudgetFor(pid, now, ctx.congestion);
+  }
+  return ctx;
+}
+
+CandidateVec Machine::GeneratePrefetches(const FaultContext& ctx) {
+  CandidateVec prefetches =
+      FilterPrefetchCandidates(policy_->OnFault(ctx), ctx.slot);
+  if (prefetches.size() > ctx.budget_remaining) {
+    prefetches.resize(ctx.budget_remaining);  // governor's per-tenant clamp
+  }
+  return prefetches;
+}
+
+void Machine::NotifyPrefetchIssued(Pid pid, SwapSlot slot, SimTimeNs ready_at,
+                                   SimTimeNs now) {
+  counters_.Add(counter::kPrefetchIssued);
+  ++unconsumed_prefetched_;
+  policy_->OnPrefetchIssued(pid, slot, now);
+  policy_->OnPrefetchComplete(pid, slot,
+                              ready_at > now ? ready_at - now : 0);
+  if (governor_ != nullptr) {
+    governor_->OnPrefetchIssued(pid, 1);
+  }
+}
+
+void Machine::NotifyPrefetchHit(Pid pid, SwapSlot slot,
+                                const CacheEntry& entry, SimTimeNs now) {
+  counters_.Add(counter::kPrefetchHits);
+  const SimTimeNs timeliness =
+      now > entry.added_at ? now - entry.added_at : 0;
+  timeliness_hist_.Record(timeliness);
+  if (unconsumed_prefetched_ > 0) {
+    --unconsumed_prefetched_;
+  }
+  // The policy sees the accessing process (the do_swap_page pid, matching
+  // v1); the governor's accuracy ledger credits the tenant that ISSUED the
+  // prefetch (entry.pid) - in VFS mode the shared page cache lets another
+  // process consume it, and crediting the accessor would read the issuer
+  // as 0-accuracy, collapsing exactly the tenant whose prefetches hit.
+  // Issued and Dropped are attributed to entry.pid the same way.
+  policy_->OnPrefetchHit(pid, slot, timeliness);
+  if (governor_ != nullptr) {
+    governor_->OnPrefetchHit(entry.pid);
+  }
+}
+
+void Machine::NotifyPrefetchDropped(SwapSlot slot, const CacheEntry& entry) {
+  if (!entry.prefetched || entry.first_hit_at != 0) {
+    return;
+  }
+  if (unconsumed_prefetched_ > 0) {
+    --unconsumed_prefetched_;
+  }
+  policy_->OnPrefetchDropped(entry.pid, slot);
+  if (governor_ != nullptr) {
+    governor_->OnPrefetchDropped(entry.pid);
+  }
 }
 
 Pid Machine::CreateProcess(size_t cgroup_limit_pages) {
@@ -160,6 +233,7 @@ void Machine::KswapdTick(SimTimeNs now) {
       if (entry.has_value()) {
         prefetch_fifo_.OnConsumed(slot);
         UnchargeCacheEntry(*entry);
+        NotifyPrefetchDropped(slot, *entry);
         if (entry->pfn != kInvalidPfn) {
           frames_.Free(entry->pfn);
         }
@@ -228,6 +302,7 @@ bool Machine::ReclaimOneCacheVictim(SimTimeNs now) {
   }
   prefetch_fifo_.OnConsumed(victim);  // drop any FIFO bookkeeping
   UnchargeCacheEntry(*entry);
+  NotifyPrefetchDropped(victim, *entry);
   if (entry->pfn != kInvalidPfn) {
     frames_.Free(entry->pfn);
   }
@@ -295,6 +370,7 @@ SimTimeNs Machine::EvictColdestOf(Pid pid, SimTimeNs now) {
   if (cached.has_value()) {
     prefetch_fifo_.OnConsumed(slot);
     UnchargeCacheEntry(*cached);
+    NotifyPrefetchDropped(slot, *cached);
     if (cached->pfn != kInvalidPfn) {
       frames_.Free(cached->pfn);
     }
@@ -334,6 +410,7 @@ void Machine::OnPageDirtied(Pid pid, Vpn vpn) {
   if (entry.has_value()) {
     prefetch_fifo_.OnConsumed(*slot);
     UnchargeCacheEntry(*entry);
+    NotifyPrefetchDropped(*slot, *entry);
     if (entry->pfn != kInvalidPfn) {
       frames_.Free(entry->pfn);
     }
@@ -381,7 +458,10 @@ void Machine::EnforcePrefetchCacheLimit(size_t incoming, SimTimeNs now) {
 }
 
 // Drops candidates that point at the demand page, past the end of the
-// backing store, or at already-cached slots.
+// backing store, at already-cached slots, or that repeat an earlier
+// candidate in the same batch (a duplicate would double-count Issued with
+// only one possible Hit/Dropped, and leak its pre-allocated frame when the
+// cache insert rejects the second copy).
 CandidateVec Machine::FilterPrefetchCandidates(const CandidateVec& candidates,
                                                SwapSlot demand_slot) const {
   // Readahead is bounded by the device: the swap area's high-water mark, or
@@ -394,6 +474,18 @@ CandidateVec Machine::FilterPrefetchCandidates(const CandidateVec& candidates,
       continue;
     }
     if (cache_.Lookup(slot) != nullptr) {
+      continue;
+    }
+    // O(n^2) over <= kMaxPrefetchCandidates inline elements: cheaper than
+    // any set, and still allocation-free.
+    bool duplicate = false;
+    for (SwapSlot seen : batch) {
+      if (seen == slot) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
       continue;
     }
     batch.push_back(slot);
@@ -416,11 +508,17 @@ void Machine::InsertPrefetchEntries(Pid pid, std::span<const SwapSlot> slots,
     entry.prefetched = true;
     entry.ready_at = ready_at[i];
     entry.added_at = now;
-    cache_.Insert(slots[i], entry);
+    if (!cache_.Insert(slots[i], entry)) {
+      // Unreachable with deduped+filtered candidates; kept so a rejected
+      // insert can never leak the frame or fake an Issued with no
+      // possible Hit/Dropped.
+      frames_.Free(pfn);
+      continue;
+    }
     if (config_.eviction == EvictionKind::kEagerLeap) {
       prefetch_fifo_.OnPrefetched(slots[i]);
     }
-    counters_.Add(counter::kPrefetchIssued);
+    NotifyPrefetchIssued(pid, slots[i], ready_at[i], now);
   }
   // memcg semantics: readahead pages are charged to the faulting cgroup,
   // so over-fetching displaces the process's own resident pages - the
@@ -450,8 +548,8 @@ void Machine::UnchargeCacheEntry(const CacheEntry& entry) {
 
 SimTimeNs Machine::IssueMiss(Pid pid, SwapSlot demand_slot, SimTimeNs now,
                              SimTimeNs* cpu_cost, Pfn* demand_pfn) {
-  const CandidateVec prefetches = FilterPrefetchCandidates(
-      prefetcher_->OnFault(pid, demand_slot), demand_slot);
+  const CandidateVec prefetches =
+      GeneratePrefetches(MakeFaultContext(pid, demand_slot, now));
   EnforcePrefetchCacheLimit(prefetches.size(), now);
 
   // Demand frame allocation is synchronous; prefetch frames are grabbed
@@ -516,10 +614,7 @@ void Machine::ConsumeCacheEntry(SwapSlot slot, Pid pid, Vpn vpn, bool write,
   if (first_hit) {
     entry->first_hit_at = now;
     if (entry->prefetched) {
-      counters_.Add(counter::kPrefetchHits);
-      timeliness_hist_.Record(now > entry->added_at ? now - entry->added_at
-                                                    : 0);
-      prefetcher_->OnPrefetchHit(pid, slot);
+      NotifyPrefetchHit(pid, slot, *entry, now);
     }
   }
   const Pfn pfn = entry->pfn;
@@ -576,7 +671,7 @@ AccessResult Machine::Access(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
     if (entry->first_hit_at == 0 || entry->pfn != kInvalidPfn) {
       const SimTimeNs hit_cost = data_path_->CacheHitCost(rng_);
       // The access tracker sees every do_swap_page, hits included.
-      prefetcher_->OnCacheAccess(pid, slot);
+      policy_->OnCacheAccess(pid, slot);
       if (entry->ready_at > now) {
         // In-flight prefetch: block for the residue.
         const SimTimeNs wait = entry->ready_at - now;
@@ -624,6 +719,7 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
       const auto removed = cache_.Remove(*coldest);
       if (removed.has_value()) {
         prefetch_fifo_.OnConsumed(*coldest);
+        NotifyPrefetchDropped(*coldest, *removed);
         if (removed->pfn != kInvalidPfn) {
           frames_.Free(removed->pfn);
         }
@@ -647,16 +743,13 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
     if (first_hit) {
       entry->first_hit_at = now;
       if (entry->prefetched) {
-        counters_.Add(counter::kPrefetchHits);
-        timeliness_hist_.Record(now > entry->added_at ? now - entry->added_at
-                                                      : 0);
-        prefetcher_->OnPrefetchHit(pid, slot);
+        NotifyPrefetchHit(pid, slot, *entry, now);
         if (config_.eviction == EvictionKind::kEagerLeap) {
           prefetch_fifo_.OnConsumed(slot);
         }
       }
     }
-    prefetcher_->OnCacheAccess(pid, slot);
+    policy_->OnCacheAccess(pid, slot);
     if (entry->ready_at > now) {
       const SimTimeNs wait = entry->ready_at - now;
       counters_.Add(counter::kCacheHits);
@@ -688,8 +781,7 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
   // Demand read + prefetches (fixed inline storage, as in IssueMiss).
   InlineVec<SwapSlot, kMaxPrefetchCandidates + 1> batch;
   batch.push_back(slot);  // index 0 = demand page, by convention
-  for (SwapSlot p :
-       FilterPrefetchCandidates(prefetcher_->OnFault(pid, slot), slot)) {
+  for (SwapSlot p : GeneratePrefetches(MakeFaultContext(pid, slot, now))) {
     batch.push_back(p);
   }
   Pfn demand_pfn = kInvalidPfn;
@@ -717,13 +809,21 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
     entry.added_at = now;
     if (i == 0) {
       entry.first_hit_at = now;
-    } else {
-      counters_.Add(counter::kPrefetchIssued);
-      if (config_.eviction == EvictionKind::kEagerLeap) {
-        prefetch_fifo_.OnPrefetched(batch[i]);
-      }
+      cache_.Insert(batch[i], entry);
+      continue;
     }
-    cache_.Insert(batch[i], entry);
+    if (!cache_.Insert(batch[i], entry)) {
+      // See InsertPrefetchEntries: a rejected insert must not leak the
+      // frame or fake an Issued.
+      if (pfn != kInvalidPfn) {
+        frames_.Free(pfn);
+      }
+      continue;
+    }
+    NotifyPrefetchIssued(pid, batch[i], ready[i], now);
+    if (config_.eviction == EvictionKind::kEagerLeap) {
+      prefetch_fifo_.OnPrefetched(batch[i]);
+    }
   }
   evict_if_over_limit();
   const SimTimeNs io_latency = demand_ready > now ? demand_ready - now : 0;

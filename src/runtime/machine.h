@@ -1,6 +1,7 @@
 // The simulated host: local DRAM, page tables, swap cache, reclaim, a
-// paging (or VFS) data path to a backing medium, and a pluggable
-// prefetcher. This is the composition point where Leap's three components
+// paging (or VFS) data path to a backing medium, and a pluggable prefetch
+// policy (optionally clamped by a per-tenant budget governor). This is the
+// composition point where Leap's three components
 // (process-isolated tracking, majority prefetching, eager eviction) replace
 // their legacy counterparts.
 #ifndef LEAP_SRC_RUNTIME_MACHINE_H_
@@ -20,6 +21,7 @@
 #include "src/mem/page_table.h"
 #include "src/paging/data_path.h"
 #include "src/paging/swap_manager.h"
+#include "src/prefetch/budget_governor.h"
 #include "src/prefetch/prefetcher.h"
 #include "src/rdma/host_agent.h"
 #include "src/rdma/remote_agent.h"
@@ -54,6 +56,11 @@ struct MachineConfig {
 
   // Cap on unconsumed prefetched pages in the cache (Figure 12); 0 = none.
   size_t prefetch_cache_limit_pages = 0;
+
+  // Adaptive per-tenant prefetch budget governor (disabled by default:
+  // candidate vectors pass through unclamped, bit-identical to the
+  // governor-free machine).
+  PrefetchBudgetConfig budget;
 
   // CPU-side cost constants.
   SimTimeNs local_access_ns = 90;
@@ -148,7 +155,10 @@ class Machine {
   // Page allocation cost distribution (eager-eviction effect).
   Histogram& alloc_hist() { return alloc_hist_; }
   const MachineConfig& config() const { return config_; }
-  Prefetcher& prefetcher() { return *prefetcher_; }
+  PrefetchPolicy& policy() { return *policy_; }
+  // Budget governor (nullptr when config().budget.enabled is false).
+  BudgetGovernor* governor() { return governor_.get(); }
+  const BudgetGovernor* governor() const { return governor_.get(); }
   HostAgent* host_agent() { return host_agent_.get(); }
   size_t cache_size() const { return cache_.size(); }
   size_t stale_entries() const { return stale_count_; }
@@ -202,6 +212,29 @@ class Machine {
   void ConsumeCacheEntry(SwapSlot slot, Pid pid, Vpn vpn, bool write,
                          SimTimeNs now);
 
+  // Snapshot of machine + cluster state for one fault: clock, free-frame
+  // pressure, in-flight prefetch count, congestion signals, and the
+  // governor's per-tenant budget (advancing its AIMD epoch).
+  FaultContext MakeFaultContext(Pid pid, SwapSlot slot, SimTimeNs now);
+
+  // The one candidate pipeline for both the paging and VFS miss paths:
+  // policy OnFault, then filtering, then the governor's budget clamp.
+  CandidateVec GeneratePrefetches(const FaultContext& ctx);
+
+  // Outcome-feedback fan-out to the policy and the governor.
+  // A prefetch read was submitted and its cache entry inserted; `ready_at`
+  // is its completion time (Complete fires immediately - the simulation
+  // knows the latency at issue).
+  void NotifyPrefetchIssued(Pid pid, SwapSlot slot, SimTimeNs ready_at,
+                            SimTimeNs now);
+  // First hit on a prefetched entry (records timeliness, credits policy
+  // window sizing and governor accuracy).
+  void NotifyPrefetchHit(Pid pid, SwapSlot slot, const CacheEntry& entry,
+                         SimTimeNs now);
+  // Funnel for every path that removes a prefetched-never-hit entry, so
+  // the policy and governor see each unconsumed prefetch exactly once.
+  void NotifyPrefetchDropped(SwapSlot slot, const CacheEntry& entry);
+
   // Maps (pid, vpn) -> pfn, charging the cgroup and enforcing its limit.
   // Returns the CPU cost of any synchronous cgroup reclaim triggered.
   SimTimeNs MapPage(Pid pid, Vpn vpn, Pfn pfn, bool write, SimTimeNs now);
@@ -253,7 +286,10 @@ class Machine {
   std::unique_ptr<BackingStore> overflow_store_;
   BackingStore* store_ = nullptr;
   std::unique_ptr<DataPath> data_path_;
-  std::unique_ptr<Prefetcher> prefetcher_;
+  std::unique_ptr<PrefetchPolicy> policy_;
+  std::unique_ptr<BudgetGovernor> governor_;  // null when disabled
+  // Prefetched cache pages not yet hit (FaultContext::inflight_prefetches).
+  size_t unconsumed_prefetched_ = 0;
 
   // unique_ptr values keep ProcessState addresses stable across map growth
   // (Proc() references are held across container mutations).

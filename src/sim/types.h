@@ -57,6 +57,19 @@ inline constexpr size_t kMaxPrefetchCandidates = 64;
 // capacity, stack-allocated, cheap to return by value.
 using CandidateVec = InlineVec<SwapSlot, kMaxPrefetchCandidates>;
 
+// Congestion snapshot produced by the transport layer (HostAgent/Fabric)
+// and consumed by prefetch policies and the budget governor. Lives here so
+// src/rdma does not depend on src/prefetch. Both fields are cheap copies
+// of continuously-maintained state - a snapshot costs two loads.
+struct CongestionSignals {
+  // EWMA of fabric queue delay (wait for a link serialization slot plus
+  // incast congestion stall) per page op, in ns. 0 when not fabric-bound.
+  double queue_delay_ewma_ns = 0.0;
+  // Cumulative remote_capacity_exhausted events seen by this host's agent.
+  // Monotone; consumers diff consecutive snapshots for "recent ticks".
+  uint64_t capacity_exhausted_total = 0;
+};
+
 }  // namespace leap
 
 #endif  // LEAP_SRC_SIM_TYPES_H_

@@ -50,7 +50,12 @@ std::string RenderCcdfTable(const std::vector<QuantileRow>& rows,
   TextTable table;
   std::vector<std::string> header = {"series"};
   for (double t : thresholds_us) {
-    header.push_back(">" + FormatUs(t) + "us(%)");
+    // Built with append rather than `"..." + std::string&&`: GCC 12's
+    // -Wrestrict false-positives on that operator+ overload at -O3.
+    std::string label = ">";
+    label += FormatUs(t);
+    label += "us(%)";
+    header.push_back(std::move(label));
   }
   table.SetHeader(header);
   for (const auto& row : rows) {

@@ -37,7 +37,9 @@ MemOp InterleavedStream::Next(Rng& rng) {
 std::string InterleavedStream::name() const {
   std::string name = mode_ == Mode::kRoundRobin ? "interleaved-rr"
                                                 : "interleaved-bursty";
-  name += "-" + std::to_string(threads_.size()) + "t";
+  name += "-";
+  name += std::to_string(threads_.size());
+  name += "t";
   return name;
 }
 

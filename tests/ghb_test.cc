@@ -9,12 +9,12 @@ namespace {
 
 TEST(Ghb, ColdStartPredictsNothing) {
   GhbPrefetcher p;
-  EXPECT_TRUE(p.OnFault(1, 100).empty());
-  EXPECT_TRUE(p.OnFault(1, 101).empty());
+  EXPECT_TRUE(p.OnFault({1, 100}).empty());
+  EXPECT_TRUE(p.OnFault({1, 101}).empty());
   // Third fault has a delta pair but no history of it yet... the pair
   // (1,1) was just inserted, so correlation may fire on itself; either
   // way nothing crashes and candidates are sane.
-  for (SwapSlot s : p.OnFault(1, 102)) {
+  for (SwapSlot s : p.OnFault({1, 102})) {
     EXPECT_NE(s, 102u);
   }
 }
@@ -24,16 +24,16 @@ TEST(Ghb, LearnsRepeatingDeltaSequence) {
   // Repeating pattern +1 +2 +4, twice to train, then probe.
   SwapSlot addr = 1000;
   const PageDelta pattern[] = {1, 2, 4};
-  p.OnFault(1, addr);
+  p.OnFault({1, addr});
   for (int rep = 0; rep < 3; ++rep) {
     for (PageDelta d : pattern) {
       addr += d;
-      p.OnFault(1, addr);
+      p.OnFault({1, addr});
     }
   }
   // Continue the pattern: after deltas (4,1) history says next come +2 +4.
   addr += pattern[0];
-  const auto candidates = p.OnFault(1, addr);
+  const auto candidates = p.OnFault({1, addr});
   ASSERT_FALSE(candidates.empty());
   EXPECT_EQ(candidates[0], addr + 2);
   if (candidates.size() > 1) {
@@ -45,7 +45,7 @@ TEST(Ghb, SequentialStreamPredictsForward) {
   GhbPrefetcher p;
   CandidateVec candidates;
   for (Vpn a = 0; a < 32; ++a) {
-    candidates = p.OnFault(1, a);
+    candidates = p.OnFault({1, a});
   }
   ASSERT_FALSE(candidates.empty());
   EXPECT_EQ(candidates[0], 32u);
@@ -56,7 +56,7 @@ TEST(Ghb, RandomStreamRarelyPredicts) {
   Rng rng(3);
   size_t total_candidates = 0;
   for (int i = 0; i < 400; ++i) {
-    total_candidates += p.OnFault(1, rng.NextU64(1 << 24)).size();
+    total_candidates += p.OnFault({1, rng.NextU64(1 << 24)}).size();
   }
   // Random deltas repeat signatures almost never.
   EXPECT_LT(total_candidates, 40u);
@@ -67,7 +67,7 @@ TEST(Ghb, BufferBoundedBySize) {
   config.buffer_size = 64;
   GhbPrefetcher p(config);
   for (Vpn a = 0; a < 1000; ++a) {
-    p.OnFault(1, a * 3);
+    p.OnFault({1, a * 3});
   }
   EXPECT_LE(p.buffer_entries(), 64u);
 }
@@ -76,13 +76,13 @@ TEST(Ghb, PerProcessAddressStreamsButGlobalHistory) {
   GhbPrefetcher p;
   // Train with process 1.
   for (Vpn a = 0; a < 32; ++a) {
-    p.OnFault(1, a);
+    p.OnFault({1, a});
   }
   // Process 2 starts a sequential run; the global buffer already knows the
   // (1,1) signature, so prediction kicks in quickly.
-  p.OnFault(2, 5000);
-  p.OnFault(2, 5001);
-  const auto candidates = p.OnFault(2, 5002);
+  p.OnFault({2, 5000});
+  p.OnFault({2, 5001});
+  const auto candidates = p.OnFault({2, 5002});
   ASSERT_FALSE(candidates.empty());
   EXPECT_EQ(candidates[0], 5003u);
 }

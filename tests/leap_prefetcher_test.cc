@@ -30,7 +30,7 @@ TEST(LeapPrefetcher, SequentialStreamPrefetchesAlongTrend) {
     d = p.OnMiss(a);
     // Feed hits back as if prefetched pages were consumed.
     for (size_t h = 0; h < d.pages.size() && h < 2; ++h) {
-      p.OnPrefetchHit();
+      p.OnPrefetchHit(d.pages[h]);
     }
   }
   ASSERT_TRUE(d.trend_found);
@@ -49,7 +49,7 @@ TEST(LeapPrefetcher, StrideStreamPrefetchesWithStride) {
   for (Vpn a = 0; a < 300; a += 10) {
     d = p.OnMiss(a);
     for (size_t h = 0; h < d.pages.size() && h < 3; ++h) {
-      p.OnPrefetchHit();
+      p.OnPrefetchHit(d.pages[h]);
     }
   }
   ASSERT_TRUE(d.trend_found);
@@ -66,7 +66,7 @@ TEST(LeapPrefetcher, WindowGrowsWithConsumption) {
     const PrefetchDecision d = p.OnMiss(a);
     max_window = std::max(max_window, d.window_size);
     for (size_t h = 0; h < d.pages.size(); ++h) {
-      p.OnPrefetchHit();  // everything prefetched gets used
+      p.OnPrefetchHit(d.pages[h]);  // everything prefetched gets used
     }
   }
   EXPECT_EQ(max_window, DefaultParams().max_prefetch_window);
@@ -91,14 +91,14 @@ TEST(LeapPrefetcher, SpeculativePrefetchUsesStaleTrendDuringGap) {
   for (Vpn a = 0; a < 16; ++a) {
     d = p.OnMiss(a);
     for (size_t h = 0; h < d.pages.size(); ++h) {
-      p.OnPrefetchHit();
+      p.OnPrefetchHit(d.pages[h]);
     }
   }
   // Inject alternating noise that destroys the majority but keeps the
   // window non-zero (hits still flowing).
   Vpn base = 100000;
   d = p.OnMiss(base);
-  p.OnPrefetchHit();
+  p.OnPrefetchHit(d.pages.empty() ? base : d.pages[0]);
   d = p.OnMiss(base + 5000);
   // The history has no majority now; with window > 0 the prefetcher must
   // speculate with the last known trend (+1) rather than give up.
@@ -117,7 +117,7 @@ TEST(LeapPrefetcher, CandidatesNeverUnderflowAddressSpace) {
   for (int a = 20; a >= 0; a -= 2) {
     d = p.OnMiss(static_cast<SwapSlot>(a));
     for (size_t h = 0; h < d.pages.size(); ++h) {
-      p.OnPrefetchHit();
+      p.OnPrefetchHit(d.pages[h]);
     }
   }
   for (SwapSlot page : d.pages) {
@@ -130,7 +130,7 @@ TEST(LeapPrefetcher, ZeroDeltaMajorityYieldsNoCandidates) {
   PrefetchDecision d;
   for (int i = 0; i < 20; ++i) {
     d = p.OnMiss(55);  // same page over and over
-    p.OnPrefetchHit();   // keep the window open
+    p.OnPrefetchHit(55);   // keep the window open
   }
   EXPECT_TRUE(d.pages.empty());
 }
@@ -141,7 +141,7 @@ TEST(LeapPrefetcher, WindowSizeBoundsCandidateCount) {
     const PrefetchDecision d = p.OnMiss(a);
     EXPECT_LE(d.pages.size(), d.window_size);
     for (size_t h = 0; h < d.pages.size(); ++h) {
-      p.OnPrefetchHit();
+      p.OnPrefetchHit(d.pages[h]);
     }
   }
 }
@@ -153,7 +153,7 @@ TEST(LeapPrefetcher, TrendShiftAdaptsWithinWindow) {
   for (int i = 0; i < 12; ++i) {
     d = p.OnMiss(static_cast<SwapSlot>(2000 - 3 * i));
     for (size_t h = 0; h < d.pages.size(); ++h) {
-      p.OnPrefetchHit();
+      p.OnPrefetchHit(d.pages[h]);
     }
   }
   ASSERT_TRUE(d.trend_found);
@@ -161,7 +161,7 @@ TEST(LeapPrefetcher, TrendShiftAdaptsWithinWindow) {
   for (int i = 0; i < 40; ++i) {
     d = p.OnMiss(static_cast<SwapSlot>(100 + 2 * i));
     for (size_t h = 0; h < d.pages.size(); ++h) {
-      p.OnPrefetchHit();
+      p.OnPrefetchHit(d.pages[h]);
     }
   }
   ASSERT_TRUE(d.trend_found);

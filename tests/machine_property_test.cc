@@ -159,7 +159,7 @@ TEST_P(LeapParamSweepTest, PrefetcherSafeAcrossParameterSpace) {
       ASSERT_NE(page, cursor);
     }
     for (size_t h = 0; h < d.pages.size() && h < 2; ++h) {
-      prefetcher.OnPrefetchHit();
+      prefetcher.OnPrefetchHit(d.pages[h]);
     }
   }
 }

@@ -13,14 +13,14 @@ namespace {
 
 TEST(NextNLine, AlwaysFetchesNextN) {
   NextNLinePrefetcher p(4);
-  const auto pages = p.OnFault(1, 100);
+  const auto pages = p.OnFault({1, 100});
   EXPECT_EQ(pages, (std::vector<SwapSlot>{101, 102, 103, 104}));
 }
 
 TEST(NextNLine, IgnoresPatternEntirely) {
   NextNLinePrefetcher p(2);
-  p.OnFault(1, 100);
-  const auto pages = p.OnFault(1, 5000);  // wild jump: still next-2
+  p.OnFault({1, 100});
+  const auto pages = p.OnFault({1, 5000});  // wild jump: still next-2
   EXPECT_EQ(pages, (std::vector<SwapSlot>{5001, 5002}));
 }
 
@@ -28,32 +28,32 @@ TEST(NextNLine, IgnoresPatternEntirely) {
 
 TEST(Stride, NeedsTwoMatchingDeltasToConfirm) {
   StridePrefetcher p(8);
-  EXPECT_TRUE(p.OnFault(1, 100).empty());   // first access
-  EXPECT_TRUE(p.OnFault(1, 110).empty());   // stride 10 seen once
-  const auto pages = p.OnFault(1, 120);     // stride 10 repeated
+  EXPECT_TRUE(p.OnFault({1, 100}).empty());   // first access
+  EXPECT_TRUE(p.OnFault({1, 110}).empty());   // stride 10 seen once
+  const auto pages = p.OnFault({1, 120});     // stride 10 repeated
   ASSERT_FALSE(pages.empty());
   EXPECT_EQ(pages[0], 130u);
 }
 
 TEST(Stride, BrokenStrideResetsStream) {
   StridePrefetcher p(8);
-  p.OnFault(1, 100);
-  p.OnFault(1, 110);
-  p.OnFault(1, 120);
-  EXPECT_TRUE(p.OnFault(1, 7777).empty());  // break
-  EXPECT_TRUE(p.OnFault(1, 7779).empty());  // new stride 2, once
-  EXPECT_FALSE(p.OnFault(1, 7781).empty()); // confirmed again
+  p.OnFault({1, 100});
+  p.OnFault({1, 110});
+  p.OnFault({1, 120});
+  EXPECT_TRUE(p.OnFault({1, 7777}).empty());  // break
+  EXPECT_TRUE(p.OnFault({1, 7779}).empty());  // new stride 2, once
+  EXPECT_FALSE(p.OnFault({1, 7781}).empty()); // confirmed again
 }
 
 TEST(Stride, DepthGrowsWithAccuracy) {
   StridePrefetcher p(8);
-  p.OnFault(1, 0);
-  p.OnFault(1, 10);
+  p.OnFault({1, 0});
+  p.OnFault({1, 10});
   size_t last_depth = 0;
   for (int i = 2; i < 12; ++i) {
-    const auto pages = p.OnFault(1, static_cast<SwapSlot>(10 * i));
+    const auto pages = p.OnFault({1, static_cast<SwapSlot>(10 * i)});
     for (SwapSlot s : pages) {
-      p.OnPrefetchHit(1, s);  // everything useful
+      p.OnPrefetchHit(1, s, 0);  // everything useful
     }
     last_depth = pages.size();
   }
@@ -62,18 +62,18 @@ TEST(Stride, DepthGrowsWithAccuracy) {
 
 TEST(Stride, DepthShrinksWithoutHits) {
   StridePrefetcher p(8);
-  p.OnFault(1, 0);
-  p.OnFault(1, 10);
+  p.OnFault({1, 0});
+  p.OnFault({1, 10});
   // Grow first.
   for (int i = 2; i < 8; ++i) {
-    for (SwapSlot s : p.OnFault(1, static_cast<SwapSlot>(10 * i))) {
-      p.OnPrefetchHit(1, s);
+    for (SwapSlot s : p.OnFault({1, static_cast<SwapSlot>(10 * i)})) {
+      p.OnPrefetchHit(1, s, 0);
     }
   }
   // Now never report hits: depth must halve each confirmation.
   size_t prev = 8;
   for (int i = 8; i < 14; ++i) {
-    const auto pages = p.OnFault(1, static_cast<SwapSlot>(10 * i));
+    const auto pages = p.OnFault({1, static_cast<SwapSlot>(10 * i)});
     EXPECT_LE(pages.size(), prev);
     prev = pages.size();
   }
@@ -82,12 +82,12 @@ TEST(Stride, DepthShrinksWithoutHits) {
 
 TEST(Stride, PerProcessStreams) {
   StridePrefetcher p(8);
-  p.OnFault(1, 0);
-  p.OnFault(1, 10);
-  p.OnFault(2, 1000);
-  p.OnFault(2, 1003);
-  const auto pages1 = p.OnFault(1, 20);
-  const auto pages2 = p.OnFault(2, 1006);
+  p.OnFault({1, 0});
+  p.OnFault({1, 10});
+  p.OnFault({2, 1000});
+  p.OnFault({2, 1003});
+  const auto pages1 = p.OnFault({1, 20});
+  const auto pages2 = p.OnFault({2, 1006});
   ASSERT_FALSE(pages1.empty());
   ASSERT_FALSE(pages2.empty());
   EXPECT_EQ(pages1[0], 30u);
@@ -98,15 +98,15 @@ TEST(Stride, PerProcessStreams) {
 
 TEST(ReadAhead, FirstFaultReadsMinimumCluster) {
   ReadAheadPrefetcher p(2, 8);
-  const auto pages = p.OnFault(1, 100);
+  const auto pages = p.OnFault({1, 100});
   // Aligned 2-cluster containing 100 = {100, 101}; demand excluded.
   EXPECT_EQ(pages, (std::vector<SwapSlot>{101}));
 }
 
 TEST(ReadAhead, ConsecutiveFaultsGrowWindow) {
   ReadAheadPrefetcher p(2, 8);
-  p.OnFault(1, 100);
-  const auto second = p.OnFault(1, 101);  // consecutive
+  p.OnFault({1, 100});
+  const auto second = p.OnFault({1, 101});  // consecutive
   EXPECT_GE(second.size() + 1, 4u);       // window grew
 }
 
@@ -115,10 +115,10 @@ TEST(ReadAhead, HitsAccelerateGrowthToMax) {
   SwapSlot addr = 0;
   size_t max_window = 0;
   for (int i = 0; i < 20; ++i, ++addr) {
-    const auto pages = p.OnFault(1, addr);
+    const auto pages = p.OnFault({1, addr});
     max_window = std::max(max_window, pages.size() + 1);
     for (SwapSlot s : pages) {
-      p.OnPrefetchHit(1, s);
+      p.OnPrefetchHit(1, s, 0);
     }
   }
   EXPECT_EQ(max_window, 8u);
@@ -128,11 +128,11 @@ TEST(ReadAhead, NonConsecutiveFaultShrinksWindow) {
   ReadAheadPrefetcher p(2, 8);
   // Grow first.
   for (SwapSlot a = 0; a < 10; ++a) {
-    for (SwapSlot s : p.OnFault(1, a)) {
-      p.OnPrefetchHit(1, s);
+    for (SwapSlot s : p.OnFault({1, a})) {
+      p.OnPrefetchHit(1, s, 0);
     }
   }
-  const auto after_jump = p.OnFault(1, 100000);
+  const auto after_jump = p.OnFault({1, 100000});
   EXPECT_LT(after_jump.size() + 1, 8u);
 }
 
@@ -142,14 +142,14 @@ TEST(ReadAhead, StrideAccessStillPollutes) {
   ReadAheadPrefetcher p(2, 8);
   size_t brought = 0;
   for (int i = 0; i < 50; ++i) {
-    brought += p.OnFault(1, static_cast<SwapSlot>(10 * i)).size();
+    brought += p.OnFault({1, static_cast<SwapSlot>(10 * i)}).size();
   }
   EXPECT_GT(brought, 25u);  // keeps polluting
 }
 
 TEST(ReadAhead, WindowIsAlignedBlockContainingFault) {
   ReadAheadPrefetcher p(4, 8);
-  const auto pages = p.OnFault(1, 6);
+  const auto pages = p.OnFault({1, 6});
   // Aligned 4-block containing 6 is {4,5,6,7}.
   for (SwapSlot s : pages) {
     EXPECT_GE(s, 4u);
@@ -163,9 +163,9 @@ TEST(ReadAhead, WindowIsAlignedBlockContainingFault) {
 TEST(LeapAdapter, ForwardsToCoreAndExposesDecision) {
   LeapAdapter adapter;
   for (Vpn a = 0; a < 16; ++a) {
-    const auto pages = adapter.OnFault(1, a);
+    const auto pages = adapter.OnFault({1, a});
     for (SwapSlot s : pages) {
-      adapter.OnPrefetchHit(1, s);
+      adapter.OnPrefetchHit(1, s, 0);
     }
   }
   EXPECT_TRUE(adapter.last_decision().trend_found);
@@ -174,7 +174,7 @@ TEST(LeapAdapter, ForwardsToCoreAndExposesDecision) {
 
 TEST(NoPrefetcher, NeverPrefetches) {
   NoPrefetcher p;
-  EXPECT_TRUE(p.OnFault(1, 42).empty());
+  EXPECT_TRUE(p.OnFault({1, 42}).empty());
 }
 
 }  // namespace

@@ -24,6 +24,27 @@ TEST(ProcessPageTracker, RemoveProcessDropsState) {
   EXPECT_EQ(tracker.process_count(), 0u);
 }
 
+// Per-page hit feedback threads through to the owning process instead of
+// being aggregated away: the hit slot is recorded per process, alongside
+// the window credit.
+TEST(ProcessPageTracker, PrefetchHitSlotThreadsThroughPerProcess) {
+  ProcessPageTracker tracker{LeapParams{}};
+  tracker.OnFault(1, 100);
+  tracker.OnFault(2, 9000);
+  EXPECT_FALSE(tracker.ForProcess(1).last_hit_slot().has_value());
+
+  tracker.OnPrefetchHit(1, 101);
+  tracker.OnPrefetchHit(1, 102);
+  tracker.OnPrefetchHit(2, 9001);
+
+  EXPECT_EQ(tracker.ForProcess(1).last_hit_slot(), std::optional<SwapSlot>(102));
+  EXPECT_EQ(tracker.ForProcess(1).prefetch_hits(), 2u);
+  EXPECT_EQ(tracker.ForProcess(2).last_hit_slot(), std::optional<SwapSlot>(9001));
+  EXPECT_EQ(tracker.ForProcess(2).prefetch_hits(), 1u);
+  // The window credit rode along with each hit.
+  EXPECT_EQ(tracker.ForProcess(1).window().hits_since_last(), 2u);
+}
+
 TEST(ProcessPageTracker, InterleavedProcessesKeepTheirOwnTrends) {
   ProcessPageTracker tracker{LeapParams{}};
   PrefetchDecision d1;
@@ -33,11 +54,11 @@ TEST(ProcessPageTracker, InterleavedProcessesKeepTheirOwnTrends) {
   for (int i = 0; i < 40; ++i) {
     d1 = tracker.OnFault(1, static_cast<SwapSlot>(i));
     for (size_t h = 0; h < d1.pages.size(); ++h) {
-      tracker.OnPrefetchHit(1);
+      tracker.OnPrefetchHit(1, d1.pages[h]);
     }
     d2 = tracker.OnFault(2, static_cast<SwapSlot>(100000 + 10 * i));
     for (size_t h = 0; h < d2.pages.size(); ++h) {
-      tracker.OnPrefetchHit(2);
+      tracker.OnPrefetchHit(2, d2.pages[h]);
     }
   }
   ASSERT_TRUE(d1.trend_found);
@@ -66,7 +87,7 @@ TEST(ProcessPageTracker, HitAttributionIsPerProcess) {
   for (int i = 0; i < 60; ++i) {
     const auto d1 = tracker.OnFault(1, static_cast<SwapSlot>(i));
     for (size_t h = 0; h < d1.pages.size(); ++h) {
-      tracker.OnPrefetchHit(1);
+      tracker.OnPrefetchHit(1, d1.pages[h]);
     }
     tracker.OnFault(2, rng.NextU64(1u << 30));
   }
