@@ -50,9 +50,9 @@ void Run() {
     const int n = 4000;
     Rng addr_rng(99);
     for (int i = 0; i < n; ++i) {
-      const SwapSlot slot = addr_rng.NextU64(1 << 22);
+      const IoRequest req = DemandRead(addr_rng.NextU64(1 << 22));
       SimTimeNs ready = 0;
-      store.ReadPages({&slot, 1}, now, rng, {&ready, 1});
+      store.ReadPages({&req, 1}, now, rng, {&ready, 1});
       sum += static_cast<double>(ready - now);
       now = ready + 300000;
     }

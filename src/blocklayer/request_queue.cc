@@ -6,21 +6,36 @@
 namespace leap {
 namespace {
 
-// Sorts, dedups, and back-merges `slots` into device requests, writing into
-// caller-provided scratch so steady-state submission never allocates.
-void MergeAndSortInto(std::span<const SwapSlot> slots, bool write,
-                      SimTimeNs now, std::vector<SwapSlot>* sorted,
+// Sorts, dedups, and back-merges `reqs` into device requests, writing into
+// caller-provided scratch so steady-state submission never allocates. The
+// elevator orders by slot; among duplicates of one slot the
+// highest-priority class (lowest IoClass value, i.e. the demand read)
+// survives, so a demand fetch can absorb a same-slot prefetch but a
+// prefetch can never swallow the demand page's identity.
+void MergeAndSortInto(std::span<const IoRequest> reqs, SimTimeNs now,
+                      std::vector<IoRequest>* sorted,
                       std::vector<Bio>* requests) {
-  sorted->assign(slots.begin(), slots.end());
-  std::sort(sorted->begin(), sorted->end());
-  sorted->erase(std::unique(sorted->begin(), sorted->end()), sorted->end());
+  sorted->assign(reqs.begin(), reqs.end());
+  std::sort(sorted->begin(), sorted->end(),
+            [](const IoRequest& a, const IoRequest& b) {
+              if (a.slot != b.slot) {
+                return a.slot < b.slot;
+              }
+              return static_cast<uint8_t>(a.cls) <
+                     static_cast<uint8_t>(b.cls);
+            });
+  sorted->erase(std::unique(sorted->begin(), sorted->end(),
+                            [](const IoRequest& a, const IoRequest& b) {
+                              return a.slot == b.slot;
+                            }),
+                sorted->end());
 
   requests->clear();
-  for (SwapSlot slot : *sorted) {
-    if (!requests->empty() && requests->back().end() == slot) {
+  for (const IoRequest& req : *sorted) {
+    if (!requests->empty() && requests->back().end() == req.slot) {
       ++requests->back().npages;  // back-merge
     } else {
-      requests->push_back(Bio{slot, 1, write, now});
+      requests->push_back(Bio{req.slot, 1, /*write=*/false, now});
     }
   }
 }
@@ -38,11 +53,11 @@ RequestQueue::RequestQueue(const BlockLayerConfig& config, BackingStore* store)
                                      config.dispatch_stddev_ns,
                                      config.dispatch_min_ns)) {}
 
-std::vector<Bio> RequestQueue::MergeAndSort(std::span<const SwapSlot> slots,
-                                            bool write, SimTimeNs now) {
-  std::vector<SwapSlot> sorted;
+std::vector<Bio> RequestQueue::MergeAndSort(std::span<const IoRequest> reqs,
+                                            SimTimeNs now) {
+  std::vector<IoRequest> sorted;
   std::vector<Bio> requests;
-  MergeAndSortInto(slots, write, now, &sorted, &requests);
+  MergeAndSortInto(reqs, now, &sorted, &requests);
   return requests;
 }
 
@@ -50,18 +65,17 @@ SimTimeNs RequestQueue::StageCost(Rng& rng) {
   return prep_.Sample(rng) + queue_.Sample(rng) + dispatch_.Sample(rng);
 }
 
-void RequestQueue::SubmitBatch(std::span<const SwapSlot> slots, bool write,
-                               SimTimeNs now, Rng& rng,
-                               std::span<SimTimeNs> ready_at) {
-  // ready_at is indexed exactly like slots (slots[0] = the demand page);
-  // a size mismatch would silently mis-attribute completion times.
-  assert(ready_at.size() == slots.size() &&
-         "SubmitBatch: ready_at must parallel slots");
-  if (slots.empty()) {
+void RequestQueue::SubmitBatch(std::span<const IoRequest> reqs, SimTimeNs now,
+                               Rng& rng, std::span<SimTimeNs> ready_at) {
+  // ready_at is indexed exactly like reqs; a size mismatch would silently
+  // mis-attribute completion times.
+  assert(ready_at.size() == reqs.size() &&
+         "SubmitBatch: ready_at must parallel reqs");
+  if (reqs.empty()) {
     return;
   }
-  MergeAndSortInto(slots, write, now, &sorted_scratch_, &requests_scratch_);
-  bios_merged_ += slots.size() - requests_scratch_.size();
+  MergeAndSortInto(reqs, now, &sorted_scratch_, &requests_scratch_);
+  bios_merged_ += reqs.size() - requests_scratch_.size();
   requests_dispatched_ += requests_scratch_.size();
 
   // The batch pays the staging stages once (that is what batching buys),
@@ -73,23 +87,25 @@ void RequestQueue::SubmitBatch(std::span<const SwapSlot> slots, bool write,
   // the elevator may service lower-addressed prefetch pages first, so a
   // demand page in the middle of a merged run eats its predecessors'
   // transfer time - the reordering cost of the throughput-first design.
+  // Each bio's pages are a contiguous subrange of the sorted scratch, so
+  // the run is submitted as a tagged subspan without re-materializing it.
   completion_scratch_.clear();
+  size_t run_begin = 0;
   for (const Bio& bio : requests_scratch_) {
-    run_scratch_.resize(bio.npages);
-    for (size_t i = 0; i < bio.npages; ++i) {
-      run_scratch_[i] = bio.start + i;
-    }
     run_ready_scratch_.assign(bio.npages, 0);
-    store_->ReadPages(run_scratch_, device_start, rng, run_ready_scratch_);
+    store_->ReadPages({sorted_scratch_.data() + run_begin, bio.npages},
+                      device_start, rng, run_ready_scratch_);
     for (size_t i = 0; i < bio.npages; ++i) {
-      completion_scratch_.emplace_back(run_scratch_[i], run_ready_scratch_[i]);
+      completion_scratch_.emplace_back(sorted_scratch_[run_begin + i].slot,
+                                       run_ready_scratch_[i]);
     }
+    run_begin += bio.npages;
   }
   // Batches are tiny (<= 1 + kMaxPrefetchCandidates pages), so a linear
   // scan beats hashing and keeps this allocation-free.
-  for (size_t i = 0; i < slots.size(); ++i) {
+  for (size_t i = 0; i < reqs.size(); ++i) {
     for (const auto& [slot, done_at] : completion_scratch_) {
-      if (slot == slots[i]) {
+      if (slot == reqs[i].slot) {
         ready_at[i] = done_at;
         break;
       }
@@ -97,10 +113,11 @@ void RequestQueue::SubmitBatch(std::span<const SwapSlot> slots, bool write,
   }
 }
 
-SimTimeNs RequestQueue::SubmitWrite(SwapSlot slot, SimTimeNs now, Rng& rng) {
+SimTimeNs RequestQueue::SubmitWrite(const IoRequest& req, SimTimeNs now,
+                                    Rng& rng) {
   ++requests_dispatched_;
   const SimTimeNs device_start = now + StageCost(rng);
-  return store_->WritePage(slot, device_start, rng);
+  return store_->WritePage(req, device_start, rng);
 }
 
 }  // namespace leap

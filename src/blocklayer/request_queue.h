@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/blocklayer/bio.h"
+#include "src/sim/io_request.h"
 #include "src/sim/latency_model.h"
 #include "src/storage/backing_store.h"
 
@@ -44,24 +45,28 @@ class RequestQueue {
  public:
   RequestQueue(const BlockLayerConfig& config, BackingStore* store);
 
-  // Submits one plug batch: the demand page plus any readahead pages the
-  // fault handler queued with it. The whole batch goes through the staging
-  // stages once (they are batched by design), is sorted and merged, then
-  // dispatched in elevator order. `ready_at[i]` receives the completion
-  // time of `slots[i]` - bio-granular, so the demand page (slots[0] BY
-  // CONVENTION, see DataPath::ReadPages) can be delayed behind lower-
-  // addressed prefetch pages the elevator chose to service first.
-  // Requires ready_at.size() == slots.size() (asserted).
-  void SubmitBatch(std::span<const SwapSlot> slots, bool write, SimTimeNs now,
-                   Rng& rng, std::span<SimTimeNs> ready_at);
+  // Submits one plug batch of tagged read requests: the demand page (the
+  // entry tagged IoClass::kDemandRead) plus any readahead pages the fault
+  // handler queued with it (tagged kPrefetch). The whole batch goes
+  // through the staging stages once (they are batched by design), is
+  // sorted and merged, then dispatched in elevator order. `ready_at[i]`
+  // receives the completion time of `reqs[i]` - bio-granular, so the
+  // demand page (identified by its tag, not by its position) can be
+  // delayed behind lower-addressed prefetch pages the elevator chose to
+  // service first. Requires ready_at.size() == reqs.size() (asserted).
+  void SubmitBatch(std::span<const IoRequest> reqs, SimTimeNs now, Rng& rng,
+                   std::span<SimTimeNs> ready_at);
 
-  // Single page write through the same stages (swap-out path).
-  SimTimeNs SubmitWrite(SwapSlot slot, SimTimeNs now, Rng& rng);
+  // Single tagged page write through the same stages (swap-out /
+  // writeback path).
+  SimTimeNs SubmitWrite(const IoRequest& req, SimTimeNs now, Rng& rng);
 
-  // Builds sorted, merged device requests from a batch of page slots.
-  // Exposed for unit tests of the elevator behavior.
-  static std::vector<Bio> MergeAndSort(std::span<const SwapSlot> slots,
-                                       bool write, SimTimeNs now);
+  // Builds sorted, merged device requests from a batch of tagged reads.
+  // Duplicate slots collapse with the highest-priority class winning
+  // (a demand read absorbs a prefetch for the same slot, never the other
+  // way around). Exposed for unit tests of the elevator behavior.
+  static std::vector<Bio> MergeAndSort(std::span<const IoRequest> reqs,
+                                       SimTimeNs now);
 
   uint64_t requests_dispatched() const { return requests_dispatched_; }
   uint64_t bios_merged() const { return bios_merged_; }
@@ -80,9 +85,8 @@ class RequestQueue {
   // Per-batch scratch, reused across submissions so the steady-state miss
   // path performs no heap allocation (batch sizes are bounded by the
   // prefetch-candidate cap).
-  std::vector<SwapSlot> sorted_scratch_;
+  std::vector<IoRequest> sorted_scratch_;
   std::vector<Bio> requests_scratch_;
-  std::vector<SwapSlot> run_scratch_;
   std::vector<SimTimeNs> run_ready_scratch_;
   std::vector<std::pair<SwapSlot, SimTimeNs>> completion_scratch_;
 };

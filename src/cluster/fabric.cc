@@ -9,6 +9,7 @@ Fabric::Fabric(const FabricConfig& config, size_t num_hosts, size_t num_nodes)
       base_(LatencyModel::Normal(config.base_mean_ns, config.base_stddev_ns,
                                  config.base_min_ns)),
       bytes_per_ns_(config.link_gbps / 8.0),
+      scheduler_(MakeLinkScheduler(config.sched)),
       uplinks_(std::max<size_t>(1, num_hosts)),
       downlinks_(std::max<size_t>(1, num_nodes)) {
   serialization_ns_ = static_cast<SimTimeNs>(
@@ -54,20 +55,52 @@ void Fabric::Push(Link& link, SimTimeNs done, uint32_t bytes) {
   link.inflight_bytes += bytes;
 }
 
-SimTimeNs Fabric::SubmitPageOp(uint32_t host, uint32_t node, SimTimeNs now,
-                               Rng& rng) {
-  Link& up = uplinks_[host % uplinks_.size()];
+SimTimeNs Fabric::SubmitPageOp(const IoRequest& req, uint32_t node,
+                               SimTimeNs now, Rng& rng) {
+  Link& up = uplinks_[req.host % uplinks_.size()];
   Link& down = downlinks_[node % downlinks_.size()];
   Drain(down, now);
 
-  // The transfer occupies the sender's uplink and the receiver's downlink
-  // for one serialization slot; a hot node's downlink is where contending
-  // hosts queue behind each other (incast).
+  // Wire footprint of this op: the descriptor's payload size plus the
+  // configured per-op header overhead. A default page-sized op reproduces
+  // config_.op_bytes and the precomputed serialization slot exactly.
+  const size_t header =
+      config_.op_bytes > kPageSize ? config_.op_bytes - kPageSize : 0;
+  const auto wire_bytes = static_cast<uint32_t>(req.bytes + header);
+  SimTimeNs slot_ns = serialization_ns_;
+  if (req.bytes != kPageSize) {
+    slot_ns = static_cast<SimTimeNs>(static_cast<double>(wire_bytes) /
+                                     bytes_per_ns_);
+    if (slot_ns == 0) {
+      slot_ns = 1;
+    }
+  }
+
+  // Repair cap: repair ops on a link are paced at least one stretched slot
+  // apart, bounding repair to `repair_bandwidth_fraction` of the link rate
+  // regardless of which scheduler assigns the slots.
+  const bool capped_repair = req.cls == IoClass::kRepair &&
+                             config_.sched.repair_bandwidth_fraction < 1.0 &&
+                             config_.sched.repair_bandwidth_fraction > 0.0;
+  SimTimeNs sched_now = now;
+  if (capped_repair) {
+    sched_now = std::max(now, std::max(up.sched.repair_allowed_at,
+                                       down.sched.repair_allowed_at));
+  }
+
+  // The scheduler picks the op's wire slot on the sender's uplink and the
+  // receiver's downlink; a hot node's downlink is where contending hosts
+  // queue behind each other (incast).
   const SimTimeNs wire_start =
-      std::max(now, std::max(up.busy_until, down.busy_until));
-  const SimTimeNs wire_end = wire_start + serialization_ns_;
-  up.busy_until = wire_end;
-  down.busy_until = wire_end;
+      scheduler_->ScheduleOp(up.sched, down.sched, req, sched_now, slot_ns);
+  const SimTimeNs wire_end = wire_start + slot_ns;
+  if (capped_repair) {
+    const auto pace = static_cast<SimTimeNs>(
+        static_cast<double>(slot_ns) /
+        config_.sched.repair_bandwidth_fraction);
+    up.sched.repair_allowed_at = wire_start + pace;
+    down.sched.repair_allowed_at = wire_start + pace;
+  }
 
   // Bytes already racing toward this node stretch the latency further:
   // switch buffers drain at link rate, so each in-flight KB past the free
@@ -83,24 +116,53 @@ SimTimeNs Fabric::SubmitPageOp(uint32_t host, uint32_t node, SimTimeNs now,
 
   // In-flight accounting uses wire_end plus the constant mean base - NOT
   // the sampled latency and NOT the congestion term - so ring entries are
-  // strictly non-decreasing (wire_end only grows per link) and the FIFO
-  // Drain above is exact. Congested ops therefore leave the in-flight
-  // ledger a little early; that under-, never over-counts the backlog, so
-  // congestion cannot compound on itself. Only the downlink keeps a ring:
-  // incast at the receiver is the congestion signal, while the sender side
-  // is fully described by up.busy_until.
-  const SimTimeNs done_est = wire_end + config_.base_mean_ns;
-  Push(down, done_est, static_cast<uint32_t>(config_.op_bytes));
+  // non-decreasing and the FIFO Drain above is exact. Under FIFO the
+  // monotonicity is inherent (wire_end only grows per link); the
+  // reordering schedulers can grant a slot earlier than one already handed
+  // out, so the estimate is clamped to the previous push - the early op
+  // then leaves the ledger with its displaced predecessor, a small
+  // overcount that errs toward (never away from) congestion. Congested
+  // ops still leave the ledger a little early (the congestion term is
+  // excluded), which under-counts, so congestion cannot compound on
+  // itself. Only the downlink keeps a ring: incast at the receiver is the
+  // congestion signal, while the sender side is fully described by the
+  // uplink horizons.
+  const SimTimeNs done_est =
+      std::max(wire_end + config_.base_mean_ns, down.last_done_est);
+  down.last_done_est = done_est;
+  Push(down, done_est, wire_bytes);
 
+  const auto cls = static_cast<size_t>(req.cls);
   ++ops_;
   ++up.ops;
   ++down.ops;
+  ++up.classes.ops[cls];
+  ++down.classes.ops[cls];
+  up.classes.bytes[cls] += wire_bytes;
+  down.classes.bytes[cls] += wire_bytes;
+  wire_bytes_total_ += wire_bytes;
+  // End-to-end sojourn by class: time since the op entered the I/O path
+  // (software stages + NIC pacing + this fabric), when the caller stamped
+  // it. Zero-stamped ops (unit tests driving the fabric directly) are
+  // excluded rather than read as epoch-aged.
+  if (req.enqueue_ts != 0 && done > req.enqueue_ts) {
+    class_sojourn_sum_ns_[cls] +=
+        static_cast<double>(done - req.enqueue_ts);
+    ++class_sojourn_ops_[cls];
+  }
   const SimTimeNs queue_delay = (wire_start - now) + congestion;
   queue_delay_hist_.Record(queue_delay);
   // EWMA with alpha = 1/32: smooth enough to ride out single-op spikes,
   // fast enough that a congestion epoch (hundreds of ops) dominates it.
+  // The per-class EWMA advances only on its own class's ops, so a repair
+  // storm cannot masquerade as demand-path congestion.
   queue_delay_ewma_ns_ +=
       (static_cast<double>(queue_delay) - queue_delay_ewma_ns_) / 32.0;
+  class_queue_delay_ewma_ns_[cls] +=
+      (static_cast<double>(queue_delay) - class_queue_delay_ewma_ns_[cls]) /
+      32.0;
+  class_delay_sum_ns_[cls] += static_cast<double>(queue_delay);
+  ++class_delay_ops_[cls];
   return done;
 }
 

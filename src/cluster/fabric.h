@@ -10,6 +10,15 @@
 // switch buffering the way far-memory follow-ups (3PO and friends) argue a
 // prefetcher must be evaluated under.
 //
+// Every op arrives as a tagged IoRequest, and WHICH op gets the next wire
+// slot is a pluggable LinkScheduler policy (src/cluster/link_scheduler.h):
+// FIFO (default; bit-identical to the pre-scheduler fabric),
+// demand-priority (prefetch/background never delays a demand read), or
+// per-tenant weighted DRR. A per-link repair-bandwidth cap rides the same
+// slot-assignment mechanism. Queue-delay telemetry is kept per IoClass so
+// congestion control can key on demand/prefetch delay without repair or
+// writeback noise.
+//
 // Determinism: every quantity is a pure function of the op sequence and
 // the caller's Rng stream. The cluster runner interleaves hosts in roughly
 // non-decreasing global time; small reorderings (apps with different think
@@ -21,10 +30,14 @@
 #ifndef LEAP_SRC_CLUSTER_FABRIC_H_
 #define LEAP_SRC_CLUSTER_FABRIC_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/cluster/link_scheduler.h"
 #include "src/rdma/rdma_nic.h"
+#include "src/sim/io_request.h"
 #include "src/sim/latency_model.h"
 #include "src/sim/types.h"
 #include "src/stats/histogram.h"
@@ -46,15 +59,24 @@ struct FabricConfig {
   // beyond the pipe's natural depth (~1 BDP of switch buffer is free).
   double congestion_ns_per_kb = 30.0;
   size_t congestion_free_bytes = 32 * 1024;
+  // Per-link slot-assignment policy (FIFO default = parity with the
+  // pre-scheduler fabric) plus DRR weights and the repair-bandwidth cap.
+  LinkSchedulerConfig sched;
+};
+
+// Per-link per-class op/byte totals, snapshotted into ClusterStats.
+struct LinkClassCounts {
+  std::array<uint64_t, kIoClassCount> ops{};
+  std::array<uint64_t, kIoClassCount> bytes{};
 };
 
 class Fabric : public PageTransport {
  public:
   Fabric(const FabricConfig& config, size_t num_hosts, size_t num_nodes);
 
-  // PageTransport: one page op from `host`'s uplink to `node`'s downlink.
-  // Returns the completion time.
-  SimTimeNs SubmitPageOp(uint32_t host, uint32_t node, SimTimeNs now,
+  // PageTransport: one tagged page op from `req.host`'s uplink to `node`'s
+  // downlink. Returns the completion time.
+  SimTimeNs SubmitPageOp(const IoRequest& req, uint32_t node, SimTimeNs now,
                          Rng& rng) override;
 
   // Host join: grows the uplink set; returns the new host id.
@@ -63,35 +85,78 @@ class Fabric : public PageTransport {
   size_t num_hosts() const { return uplinks_.size(); }
   size_t num_nodes() const { return downlinks_.size(); }
   SimTimeNs serialization_ns() const { return serialization_ns_; }
+  std::string_view scheduler_name() const { return scheduler_->name(); }
   // Uncontended expectation (base + one serialization), for reporting.
   double MeanLatencyNs() const;
 
   // --- accounting ---------------------------------------------------------
   uint64_t ops() const { return ops_; }
-  uint64_t bytes() const { return ops_ * config_.op_bytes; }
+  // Total wire bytes moved (per-op payload + header; equals
+  // ops * op_bytes when every op is a default page op).
+  uint64_t bytes() const { return wire_bytes_total_; }
   uint64_t host_ops(uint32_t host) const { return uplinks_[host].ops; }
   uint64_t node_ops(uint32_t node) const { return downlinks_[node].ops; }
+  // Per-class breakdown of one link's traffic (wire bytes, headers
+  // included).
+  uint64_t host_class_ops(uint32_t host, IoClass cls) const {
+    return uplinks_[host].classes.ops[static_cast<size_t>(cls)];
+  }
+  uint64_t node_class_ops(uint32_t node, IoClass cls) const {
+    return downlinks_[node].classes.ops[static_cast<size_t>(cls)];
+  }
+  const LinkClassCounts& host_classes(uint32_t host) const {
+    return uplinks_[host].classes;
+  }
+  const LinkClassCounts& node_classes(uint32_t node) const {
+    return downlinks_[node].classes;
+  }
   // Time ops spent waiting for a link slot plus congestion stall - the
   // contention signal the cluster bench reports (p99 rises with hosts).
   Histogram& queue_delay_hist() { return queue_delay_hist_; }
   const Histogram& queue_delay_hist() const { return queue_delay_hist_; }
   // Continuously-maintained EWMA of the same quantity (alpha = 1/32),
   // snapshotted into CongestionSignals on every fault: the feedback input
-  // for congestion-aware prefetch budgets.
+  // for congestion-aware prefetch budgets. The class-blind overload mixes
+  // every IoClass (kept for aggregate reporting); the per-class overload
+  // is what congestion control keys on.
   double QueueDelayEwmaNs() const override { return queue_delay_ewma_ns_; }
+  double QueueDelayEwmaNs(IoClass cls) const override {
+    return class_queue_delay_ewma_ns_[static_cast<size_t>(cls)];
+  }
+  // Whole-run mean queue delay of one class (the EWMA is a point-in-time
+  // snapshot; this is the reporting quantity).
+  double MeanQueueDelayNs(IoClass cls) const {
+    const auto c = static_cast<size_t>(cls);
+    return class_delay_ops_[c] == 0
+               ? 0.0
+               : class_delay_sum_ns_[c] /
+                     static_cast<double>(class_delay_ops_[c]);
+  }
+  // Whole-run mean end-to-end sojourn of one class: IoRequest::enqueue_ts
+  // (entry into the I/O path) -> fabric completion, over the ops that
+  // carried a stamp.
+  double MeanSojournNs(IoClass cls) const {
+    const auto c = static_cast<size_t>(cls);
+    return class_sojourn_ops_[c] == 0
+               ? 0.0
+               : class_sojourn_sum_ns_[c] /
+                     static_cast<double>(class_sojourn_ops_[c]);
+  }
 
  private:
   // Expected in-flight completion, kept in a FIFO ring (downlinks only:
   // incast at the receiver drives the congestion term; uplinks are fully
-  // described by busy_until).
+  // described by the scheduler's horizons).
   struct Pending {
     SimTimeNs done;
     uint32_t bytes;
   };
   struct Link {
-    SimTimeNs busy_until = 0;      // serialization slot
+    LinkSchedState sched;          // slot-assignment horizons
     uint64_t inflight_bytes = 0;   // submitted, not yet (expected) complete
+    SimTimeNs last_done_est = 0;   // ring monotonicity clamp (downlinks)
     uint64_t ops = 0;
+    LinkClassCounts classes;
     std::vector<Pending> ring;     // circular FIFO over `head`/`count`
     size_t head = 0;
     size_t count = 0;
@@ -104,11 +169,18 @@ class Fabric : public PageTransport {
   LatencyModel base_;
   SimTimeNs serialization_ns_;
   double bytes_per_ns_;
+  std::unique_ptr<LinkScheduler> scheduler_;
   std::vector<Link> uplinks_;    // one per host
   std::vector<Link> downlinks_;  // one per memory node
   uint64_t ops_ = 0;
   Histogram queue_delay_hist_;
   double queue_delay_ewma_ns_ = 0.0;
+  std::array<double, kIoClassCount> class_queue_delay_ewma_ns_{};
+  std::array<double, kIoClassCount> class_delay_sum_ns_{};
+  std::array<uint64_t, kIoClassCount> class_delay_ops_{};
+  std::array<double, kIoClassCount> class_sojourn_sum_ns_{};
+  std::array<uint64_t, kIoClassCount> class_sojourn_ops_{};
+  uint64_t wire_bytes_total_ = 0;
 };
 
 }  // namespace leap

@@ -4,22 +4,59 @@
 
 namespace leap {
 
+size_t DemandIndex(std::span<const IoRequest> reqs) {
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].cls == IoClass::kDemandRead) {
+      return i;
+    }
+  }
+  return reqs.size();
+}
+
+namespace {
+
+// Shared contract check for both paths: the batch parallels ready_at and
+// carries exactly one demand-tagged entry (the tag is the contract; the
+// old "index 0" convention is gone). Two demand tags would silently
+// misattribute the returned completion, so the count is enforced, not
+// just presence.
+void CheckBatch(std::span<const IoRequest> reqs,
+                std::span<SimTimeNs> ready_at) {
+#ifndef NDEBUG
+  assert(ready_at.size() == reqs.size() &&
+         "ReadPages: ready_at must parallel reqs");
+  size_t demand_entries = 0;
+  for (const IoRequest& req : reqs) {
+    if (req.cls == IoClass::kDemandRead) {
+      ++demand_entries;
+    }
+  }
+  assert((reqs.empty() || demand_entries == 1) &&
+         "ReadPages: batch must carry exactly one kDemandRead entry");
+#else
+  (void)reqs;
+  (void)ready_at;
+#endif
+}
+
+}  // namespace
+
 DefaultDataPath::DefaultDataPath(const DefaultPathConfig& config,
                                  BackingStore* store)
     : config_(config), queue_(config.block, store) {}
 
-SimTimeNs DefaultDataPath::ReadPages(std::span<const SwapSlot> slots,
+SimTimeNs DefaultDataPath::ReadPages(std::span<const IoRequest> reqs,
                                      SimTimeNs now, Rng& rng,
                                      std::span<SimTimeNs> ready_at) {
-  // slots[0] is the demand page by convention (see DataPath::ReadPages).
-  assert(ready_at.size() == slots.size() &&
-         "ReadPages: ready_at must parallel slots");
-  queue_.SubmitBatch(slots, /*write=*/false, now, rng, ready_at);
-  return ready_at.empty() ? now : ready_at[0];
+  CheckBatch(reqs, ready_at);
+  queue_.SubmitBatch(reqs, now, rng, ready_at);
+  const size_t demand = DemandIndex(reqs);
+  return demand < reqs.size() ? ready_at[demand] : now;
 }
 
-SimTimeNs DefaultDataPath::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
-  return queue_.SubmitWrite(slot, now, rng);
+SimTimeNs DefaultDataPath::WritePage(const IoRequest& req, SimTimeNs now,
+                                     Rng& rng) {
+  return queue_.SubmitWrite(req, now, rng);
 }
 
 SimTimeNs DefaultDataPath::CacheHitCost(Rng& rng) {
@@ -35,25 +72,25 @@ LeapDataPath::LeapDataPath(const LeapPathConfig& config, BackingStore* store)
       entry_(LatencyModel::Normal(config.entry_mean_ns, config.entry_stddev_ns,
                                   config.entry_min_ns)) {}
 
-SimTimeNs LeapDataPath::ReadPages(std::span<const SwapSlot> slots,
+SimTimeNs LeapDataPath::ReadPages(std::span<const IoRequest> reqs,
                                   SimTimeNs now, Rng& rng,
                                   std::span<SimTimeNs> ready_at) {
-  // slots[0] is the demand page by convention (see DataPath::ReadPages).
-  assert(ready_at.size() == slots.size() &&
-         "ReadPages: ready_at must parallel slots");
-  if (slots.empty()) {
+  CheckBatch(reqs, ready_at);
+  if (reqs.empty()) {
     return now;
   }
   // One lean entry for the fault, then per-page asynchronous submission;
   // no sorting, merging, or request-granularity completion.
   const SimTimeNs submit = now + entry_.Sample(rng);
-  store_->ReadPages(slots, submit, rng, ready_at);
-  return ready_at[0];
+  store_->ReadPages(reqs, submit, rng, ready_at);
+  const size_t demand = DemandIndex(reqs);
+  return demand < reqs.size() ? ready_at[demand] : now;
 }
 
-SimTimeNs LeapDataPath::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
+SimTimeNs LeapDataPath::WritePage(const IoRequest& req, SimTimeNs now,
+                                  Rng& rng) {
   const SimTimeNs submit = now + entry_.Sample(rng);
-  return store_->WritePage(slot, submit, rng);
+  return store_->WritePage(req, submit, rng);
 }
 
 SimTimeNs LeapDataPath::CacheHitCost(Rng& rng) {

@@ -8,6 +8,12 @@
 // cost, then per-page asynchronous submission straight to the RDMA dispatch
 // queues (or device). The demand page completes on its own; prefetched
 // pages trail behind without delaying it.
+//
+// Both paths consume tagged IoRequest batches: the demand page is the
+// entry tagged IoClass::kDemandRead (any position), prefetches are tagged
+// kPrefetch, and writes carry kWriteback/kEviction - the tag, not a
+// positional convention, is the contract, and it travels with the op all
+// the way to the transport's link schedulers.
 #ifndef LEAP_SRC_PAGING_DATA_PATH_H_
 #define LEAP_SRC_PAGING_DATA_PATH_H_
 
@@ -16,6 +22,7 @@
 #include <string>
 
 #include "src/blocklayer/request_queue.h"
+#include "src/sim/io_request.h"
 #include "src/sim/latency_model.h"
 #include "src/storage/backing_store.h"
 
@@ -25,16 +32,17 @@ class DataPath {
  public:
   virtual ~DataPath() = default;
 
-  // Reads one fault's pages. CONVENTION: slots[0] is the demand page; any
-  // trailing entries are its prefetch pages. Fills `ready_at`, indexed
-  // exactly like `slots` (ready_at[0] = demand completion), and returns
-  // the demand page's completion time. Implementations must require (and
-  // assert) ready_at.size() == slots.size().
-  virtual SimTimeNs ReadPages(std::span<const SwapSlot> slots, SimTimeNs now,
+  // Reads one fault's pages: exactly one entry tagged IoClass::kDemandRead
+  // plus any number of kPrefetch entries (asserted). Fills `ready_at`,
+  // indexed exactly like `reqs`, and returns the demand-tagged entry's
+  // completion time. Implementations must require (and assert)
+  // ready_at.size() == reqs.size().
+  virtual SimTimeNs ReadPages(std::span<const IoRequest> reqs, SimTimeNs now,
                               Rng& rng, std::span<SimTimeNs> ready_at) = 0;
 
   // Swap-out / writeback of one page; returns completion time.
-  virtual SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) = 0;
+  virtual SimTimeNs WritePage(const IoRequest& req, SimTimeNs now,
+                              Rng& rng) = 0;
 
   // Service latency charged to a page-cache hit on this path. The default
   // path's constant software overhead keeps this near 1 us for D-VMM
@@ -43,6 +51,12 @@ class DataPath {
 
   virtual std::string name() const = 0;
 };
+
+// Index of the (single) demand-tagged entry of a fault batch, or
+// reqs.size() when there is none. Shared by both paths and asserted on:
+// the tag replaced the old "demand page is index 0" convention, and every
+// batch must carry it explicitly.
+size_t DemandIndex(std::span<const IoRequest> reqs);
 
 struct DefaultPathConfig {
   BlockLayerConfig block;
@@ -57,9 +71,9 @@ class DefaultDataPath : public DataPath {
  public:
   DefaultDataPath(const DefaultPathConfig& config, BackingStore* store);
 
-  SimTimeNs ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
-                      std::span<SimTimeNs> ready_at) override;
-  SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) override;
+  SimTimeNs ReadPages(std::span<const IoRequest> reqs, SimTimeNs now,
+                      Rng& rng, std::span<SimTimeNs> ready_at) override;
+  SimTimeNs WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) override;
   SimTimeNs CacheHitCost(Rng& rng) override;
   std::string name() const override { return "default"; }
 
@@ -84,9 +98,9 @@ class LeapDataPath : public DataPath {
  public:
   LeapDataPath(const LeapPathConfig& config, BackingStore* store);
 
-  SimTimeNs ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
-                      std::span<SimTimeNs> ready_at) override;
-  SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) override;
+  SimTimeNs ReadPages(std::span<const IoRequest> reqs, SimTimeNs now,
+                      Rng& rng, std::span<SimTimeNs> ready_at) override;
+  SimTimeNs WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) override;
   SimTimeNs CacheHitCost(Rng& rng) override;
   std::string name() const override { return "leap"; }
 

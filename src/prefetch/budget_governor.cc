@@ -59,8 +59,12 @@ void BudgetGovernor::AdjustEpoch(SimTimeNs now,
   const uint64_t recent_exhausted =
       signals.capacity_exhausted_total - last_exhausted_total_;
   last_exhausted_total_ = signals.capacity_exhausted_total;
+  // Key on the demand/prefetch (data-class) queue-delay EWMAs only: the
+  // aggregate EWMA also counts writeback/eviction/repair ops, so a repair
+  // storm after a node failure would otherwise read as data-path
+  // congestion and throttle tenants whose prefetches are not the problem.
   congested_ =
-      signals.queue_delay_ewma_ns > config_.queue_delay_threshold_ns ||
+      signals.DataQueueDelayNs() > config_.queue_delay_threshold_ns ||
       recent_exhausted >= config_.capacity_exhausted_threshold;
 
   for (auto [pid, tenant] : tenants_) {

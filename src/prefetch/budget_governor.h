@@ -8,11 +8,14 @@
 // budget. Budgets move by AIMD, driven by two inputs the policy interface
 // now carries:
 //
-//  - CongestionSignals (fabric queue-delay EWMA, remote_capacity_exhausted
-//    ticks): when the fabric is congested, tenants whose prefetches are
-//    not earning hits take a multiplicative cut; accurate tenants merely
-//    stop growing. One tenant's prefetch storm therefore collapses onto
-//    itself while a well-predicted sequential tenant keeps its window.
+//  - CongestionSignals (per-class fabric queue-delay EWMAs,
+//    remote_capacity_exhausted ticks): when the demand/prefetch classes
+//    are congested (CongestionSignals::DataQueueDelayNs - background
+//    writeback/repair delay is deliberately excluded so a repair storm
+//    cannot trip the governor), tenants whose prefetches are not earning
+//    hits take a multiplicative cut; accurate tenants merely stop
+//    growing. One tenant's prefetch storm therefore collapses onto itself
+//    while a well-predicted sequential tenant keeps its window.
 //  - Outcome feedback (OnPrefetchIssued / Hit / Dropped): per-tenant
 //    issue/hit/drop counts within the current adjustment epoch decide who
 //    is wasteful.
@@ -47,7 +50,8 @@ struct PrefetchBudgetConfig {
   // max_budget and AIMD moves them within [min_budget, cap].
   size_t min_budget = 1;
   size_t max_budget = kMaxPrefetchCandidates;
-  // Congestion trips when the fabric queue-delay EWMA exceeds this...
+  // Congestion trips when the demand/prefetch-class fabric queue-delay
+  // EWMA (CongestionSignals::DataQueueDelayNs) exceeds this...
   double queue_delay_threshold_ns = 15'000.0;
   // ...or at least this many capacity-exhausted ticks landed in the epoch.
   uint64_t capacity_exhausted_threshold = 1;

@@ -92,13 +92,14 @@ size_t HostAgent::QueueFor(SwapSlot slot) const {
   return static_cast<size_t>(z % nic_.num_queues());
 }
 
-void HostAgent::ReadPages(std::span<const SwapSlot> slots, SimTimeNs now,
+void HostAgent::ReadPages(std::span<const IoRequest> reqs, SimTimeNs now,
                           Rng& rng, std::span<SimTimeNs> ready_at) {
-  for (size_t i = 0; i < slots.size(); ++i) {
-    EnsureSlabMapped(slots[i]);
-    const SlabMapping& mapping = slab_map_[slots[i] / config_.slab_pages];
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const SwapSlot slot = reqs[i].slot;
+    EnsureSlabMapped(slot);
+    const SlabMapping& mapping = slab_map_[slot / config_.slab_pages];
     if (mapping.overflow && overflow_store_ != nullptr) {
-      overflow_store_->ReadPages({&slots[i], 1}, now, rng, {&ready_at[i], 1});
+      overflow_store_->ReadPages({&reqs[i], 1}, now, rng, {&ready_at[i], 1});
       Count(counter::kOverflowReads);
       continue;
     }
@@ -115,25 +116,27 @@ void HostAgent::ReadPages(std::span<const SwapSlot> slots, SimTimeNs now,
       Count(counter::kRemoteFailovers);
     }
     const uint32_t target = node != nullptr ? node->node_id() : 0;
-    ready_at[i] = nic_.SubmitPageOpTo(target, QueueFor(slots[i]), now, rng);
+    ready_at[i] =
+        nic_.SubmitPageOpTo(target, QueueFor(slot), reqs[i], now, rng);
     if (node != nullptr) {
       node->CountRead();
     }
   }
 }
 
-SimTimeNs HostAgent::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
+SimTimeNs HostAgent::WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) {
+  const SwapSlot slot = req.slot;
   const SlabMapping& mapping = MappingForSlot(slot);
   if (mapping.overflow && overflow_store_ != nullptr) {
     Count(counter::kOverflowWrites);
-    return overflow_store_->WritePage(slot, now, rng);
+    return overflow_store_->WritePage(req, now, rng);
   }
   // Replicated write: issue to every live replica, complete when all
   // complete. Replicas that are down miss the write (repair re-syncs them).
   SimTimeNs done = now;
   if (mapping.nodes.empty()) {
     // Best-effort path for agents with no overflow store (standalone use).
-    return nic_.SubmitPageOpTo(0, QueueFor(slot), now, rng);
+    return nic_.SubmitPageOpTo(0, QueueFor(slot), req, now, rng);
   }
   bool any_live = false;
   for (size_t r = 0; r < mapping.nodes.size(); ++r) {
@@ -144,7 +147,7 @@ SimTimeNs HostAgent::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
     any_live = true;
     done = std::max(done,
                     nic_.SubmitPageOpTo(node->node_id(), QueueFor(slot + r),
-                                        now, rng));
+                                        req, now, rng));
     node->CountWrite();
   }
   if (!any_live) {
@@ -175,7 +178,7 @@ void HostAgent::WriteTag(SwapSlot slot, uint64_t tag, SimTimeNs now,
       }
     }
   }
-  WritePage(slot, now, rng);
+  WritePage(WritebackOp(slot, 0, now), now, rng);
 }
 
 std::optional<uint64_t> HostAgent::ReadTag(SwapSlot slot) const {
@@ -257,7 +260,8 @@ size_t HostAgent::RepairSlabsAfterFailure(uint32_t failed_node,
         const auto tag = source->LoadPage(PageKey(base + p));
         if (tag.has_value()) {
           target->StorePage(PageKey(base + p), *tag);
-          nic_.SubmitPageOpTo(replacement, QueueFor(base + p), now,
+          nic_.SubmitPageOpTo(replacement, QueueFor(base + p),
+                              RepairCopy(base + p, now), now,
                               placement_rng_);
           Count(counter::kRepairPageCopies);
         }

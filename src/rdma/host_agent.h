@@ -64,10 +64,11 @@ class HostAgent : public BackingStore {
             std::vector<RemoteAgent*> remote_nodes, uint64_t seed);
   ~HostAgent() override;
 
-  // BackingStore:
-  void ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
+  // BackingStore: tagged batches; the IoClass/tenant tags ride through the
+  // NIC onto the fabric's link schedulers unchanged.
+  void ReadPages(std::span<const IoRequest> reqs, SimTimeNs now, Rng& rng,
                  std::span<SimTimeNs> ready_at) override;
-  SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) override;
+  SimTimeNs WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) override;
   std::string name() const override { return "remote-memory"; }
   double MeanReadLatencyNs() const override;
 
@@ -79,12 +80,19 @@ class HostAgent : public BackingStore {
   uint32_t host_id() const { return host_id_; }
 
   // Congestion snapshot for prefetch policies (FaultContext::congestion):
-  // the bound fabric's queue-delay EWMA (0 standalone) plus this agent's
-  // cumulative capacity-exhaustion ticks. Two loads; called per fault.
+  // the bound fabric's queue-delay EWMAs (0 standalone) plus this agent's
+  // cumulative capacity-exhaustion ticks. A few loads; called per fault.
+  // The per-class demand/prefetch EWMAs are the ones congestion control
+  // keys on - the aggregate EWMA also counts writeback/eviction/repair
+  // traffic and is kept for reporting only.
   CongestionSignals congestion_signals() const {
     CongestionSignals signals;
     if (fabric_ != nullptr) {
       signals.queue_delay_ewma_ns = fabric_->QueueDelayEwmaNs();
+      signals.demand_queue_delay_ewma_ns =
+          fabric_->QueueDelayEwmaNs(IoClass::kDemandRead);
+      signals.prefetch_queue_delay_ewma_ns =
+          fabric_->QueueDelayEwmaNs(IoClass::kPrefetch);
     }
     signals.capacity_exhausted_total = capacity_exhausted_events_;
     return signals;
@@ -99,7 +107,7 @@ class HostAgent : public BackingStore {
   void ReleaseAllSlabs();
 
   // Content-tag plumbing for integration tests (read-your-writes through
-  // real slab/node routing).
+  // real slab/node routing). The write rides the NIC as a kWriteback op.
   void WriteTag(SwapSlot slot, uint64_t tag, SimTimeNs now, Rng& rng);
   std::optional<uint64_t> ReadTag(SwapSlot slot) const;
 

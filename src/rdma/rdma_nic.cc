@@ -15,7 +15,8 @@ void RdmaNic::BindFabric(PageTransport* fabric, uint32_t host_id) {
   host_id_ = host_id;
 }
 
-SimTimeNs RdmaNic::SubmitPageOpTo(uint32_t node, size_t queue, SimTimeNs now,
+SimTimeNs RdmaNic::SubmitPageOpTo(uint32_t node, size_t queue,
+                                  const IoRequest& req, SimTimeNs now,
                                   Rng& rng) {
   if (fabric_ == nullptr) {
     return SubmitPageOp(queue, now, rng);
@@ -28,7 +29,10 @@ SimTimeNs RdmaNic::SubmitPageOpTo(uint32_t node, size_t queue, SimTimeNs now,
   const SimTimeNs issue = std::max(now, q_busy);
   q_busy = issue + config_.serialization_ns;
   ++ops_issued_;
-  return fabric_->SubmitPageOp(host_id_, node, issue, rng);
+  // Stamp the uplink id: layers above the NIC do not know it.
+  IoRequest stamped = req;
+  stamped.host = host_id_;
+  return fabric_->SubmitPageOp(stamped, node, issue, rng);
 }
 
 SimTimeNs RdmaNic::SubmitPageOp(size_t queue, SimTimeNs now, Rng& rng) {

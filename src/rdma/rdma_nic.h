@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/io_request.h"
 #include "src/sim/latency_model.h"
 #include "src/sim/types.h"
 
@@ -33,15 +34,20 @@ class PageTransport {
  public:
   virtual ~PageTransport() = default;
 
-  // One page op from `src_host`'s uplink to `dst_node`'s downlink; returns
-  // the completion time.
-  virtual SimTimeNs SubmitPageOp(uint32_t src_host, uint32_t dst_node,
+  // One tagged page op from `req.host`'s uplink to `dst_node`'s downlink;
+  // returns the completion time. The IoClass tag is what the transport's
+  // link schedulers key on.
+  virtual SimTimeNs SubmitPageOp(const IoRequest& req, uint32_t dst_node,
                                  SimTimeNs now, Rng& rng) = 0;
 
   // Congestion telemetry: EWMA of per-op queue delay (link-slot wait plus
   // incast stall), in ns. Published to prefetch policies through
   // HostAgent::congestion_signals(); transports without queueing report 0.
+  // The class-blind overload mixes every IoClass; the per-class overload
+  // feeds congestion control (demand/prefetch only, so repair or
+  // writeback storms cannot masquerade as data-path congestion).
   virtual double QueueDelayEwmaNs() const { return 0.0; }
+  virtual double QueueDelayEwmaNs(IoClass /*cls*/) const { return 0.0; }
 };
 
 struct RdmaNicConfig {
@@ -63,10 +69,11 @@ class RdmaNic {
   // serialization delay across all queues.
   SimTimeNs SubmitPageOp(size_t queue, SimTimeNs now, Rng& rng);
 
-  // Node-addressed submission: over the fabric when bound, identical to
-  // SubmitPageOp otherwise (the private link does not care which node).
-  SimTimeNs SubmitPageOpTo(uint32_t node, size_t queue, SimTimeNs now,
-                           Rng& rng);
+  // Node-addressed tagged submission: over the fabric when bound (the NIC
+  // stamps req.host with its uplink id), identical to SubmitPageOp
+  // otherwise (the private link does not care which node or class).
+  SimTimeNs SubmitPageOpTo(uint32_t node, size_t queue, const IoRequest& req,
+                           SimTimeNs now, Rng& rng);
 
   // Cluster wiring: route the wire + base latency through a shared fabric;
   // `host_id` names this host's uplink.

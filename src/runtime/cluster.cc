@@ -14,6 +14,22 @@ size_t ClusterStats::SlabImbalance() const {
   return *max_it - *min_it;
 }
 
+uint64_t ClusterStats::ClassOps(IoClass cls) const {
+  uint64_t total = 0;
+  for (const LinkClassCounts& link : node_downlink_classes) {
+    total += link.ops[static_cast<size_t>(cls)];
+  }
+  return total;
+}
+
+uint64_t ClusterStats::ClassBytes(IoClass cls) const {
+  uint64_t total = 0;
+  for (const LinkClassCounts& link : node_downlink_classes) {
+    total += link.bytes[static_cast<size_t>(cls)];
+  }
+  return total;
+}
+
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       fabric_(std::make_unique<Fabric>(config.fabric,
@@ -146,6 +162,24 @@ ClusterStats Cluster::Stats() const {
   }
   stats.fabric_ops = fabric_->ops();
   stats.fabric_bytes = fabric_->bytes();
+  stats.host_uplink_classes.reserve(fabric_->num_hosts());
+  for (size_t h = 0; h < fabric_->num_hosts(); ++h) {
+    stats.host_uplink_classes.push_back(
+        fabric_->host_classes(static_cast<uint32_t>(h)));
+  }
+  stats.node_downlink_classes.reserve(fabric_->num_nodes());
+  for (size_t n = 0; n < fabric_->num_nodes(); ++n) {
+    stats.node_downlink_classes.push_back(
+        fabric_->node_classes(static_cast<uint32_t>(n)));
+  }
+  for (size_t c = 0; c < kIoClassCount; ++c) {
+    stats.class_queue_delay_ewma_ns[c] =
+        fabric_->QueueDelayEwmaNs(static_cast<IoClass>(c));
+    stats.class_queue_delay_mean_ns[c] =
+        fabric_->MeanQueueDelayNs(static_cast<IoClass>(c));
+    stats.class_sojourn_mean_ns[c] =
+        fabric_->MeanSojournNs(static_cast<IoClass>(c));
+  }
   return stats;
 }
 

@@ -11,6 +11,7 @@
 #ifndef LEAP_SRC_RUNTIME_CLUSTER_H_
 #define LEAP_SRC_RUNTIME_CLUSTER_H_
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -54,9 +55,29 @@ struct ClusterStats {
   std::vector<uint64_t> node_writes;  // page writes absorbed per node
   uint64_t fabric_ops = 0;
   uint64_t fabric_bytes = 0;
+  // Per-link per-IoClass op/byte totals (index with
+  // static_cast<size_t>(IoClass)): who is using each uplink/downlink, and
+  // for what. This is what makes "the antagonist's prefetches are eating
+  // node 1's downlink" a measurable statement.
+  std::vector<LinkClassCounts> host_uplink_classes;   // per host
+  std::vector<LinkClassCounts> node_downlink_classes;  // per node
+  // Fabric queue-delay EWMA per IoClass (repair/writeback congestion no
+  // longer pollutes the demand/prefetch signal the governor keys on),
+  // plus the whole-run per-class mean (the reporting quantity; the EWMA
+  // is a point-in-time snapshot).
+  std::array<double, kIoClassCount> class_queue_delay_ewma_ns{};
+  std::array<double, kIoClassCount> class_queue_delay_mean_ns{};
+  // Mean end-to-end sojourn per class (IoRequest::enqueue_ts -> fabric
+  // completion): queue delay says what the link added; this says what the
+  // class's ops cost all-in.
+  std::array<double, kIoClassCount> class_sojourn_mean_ns{};
 
   // Placement skew: max - min mapped slabs across nodes.
   size_t SlabImbalance() const;
+
+  // Convenience sums over one class across all downlinks.
+  uint64_t ClassOps(IoClass cls) const;
+  uint64_t ClassBytes(IoClass cls) const;
 };
 
 class Cluster {

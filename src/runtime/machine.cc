@@ -384,7 +384,7 @@ SimTimeNs Machine::EvictColdestOf(Pid pid, SimTimeNs now) {
   // Swap-out: dirty (or never-backed) pages go to the backing store
   // asynchronously; the device/NIC occupancy is modeled, the CPU moves on.
   if (entry->dirty) {
-    data_path_->WritePage(slot, now, rng_);
+    data_path_->WritePage(EvictionWrite(slot, pid, now), now, rng_);
     counters_.Add(counter::kWritebacks);
     if (config_.medium == Medium::kRemote) {
       counters_.Add(counter::kRemoteWrites);
@@ -559,18 +559,20 @@ SimTimeNs Machine::IssueMiss(Pid pid, SwapSlot demand_slot, SimTimeNs now,
 
   // One submission: the demand page plus its readahead pages form a single
   // plug batch on the default path (merged + elevator-ordered together)
-  // and a train of asynchronous per-page ops on the Leap path. Batch and
-  // completion times live in fixed inline storage: a miss allocates
-  // nothing on this path.
-  InlineVec<SwapSlot, kMaxPrefetchCandidates + 1> batch;
-  batch.push_back(demand_slot);  // index 0 = demand page, by convention
+  // and a train of asynchronous per-page ops on the Leap path. Each entry
+  // carries its IoClass tag - the contract the lower layers key on (the
+  // demand page leads the batch only so ready[0] lines up with it here).
+  // Batch and completion times live in fixed inline storage: a miss
+  // allocates nothing on this path.
+  InlineVec<IoRequest, kMaxPrefetchCandidates + 1> batch;
+  batch.push_back(DemandRead(demand_slot, pid, now));
   for (SwapSlot slot : prefetches) {
-    batch.push_back(slot);
+    batch.push_back(PrefetchRead(slot, pid, now));
   }
   InlineVec<SimTimeNs, kMaxPrefetchCandidates + 1> ready;
   ready.resize(batch.size());
   const SimTimeNs demand_ready = data_path_->ReadPages(
-      std::span<const SwapSlot>(batch.data(), batch.size()), now + *cpu_cost,
+      std::span<const IoRequest>(batch.data(), batch.size()), now + *cpu_cost,
       rng_, std::span<SimTimeNs>(ready.data(), ready.size()));
 
   counters_.Add(counter::kDemandReads);
@@ -724,7 +726,8 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
           frames_.Free(removed->pfn);
         }
         if (removed->dirty) {
-          data_path_->WritePage(*coldest, now, rng_);
+          data_path_->WritePage(WritebackOp(*coldest, removed->pid, now),
+                                now, rng_);
           counters_.Add(counter::kWritebacks);
         }
         counters_.Add(counter::kEvictions);
@@ -778,18 +781,20 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
   }
 
   counters_.Add(counter::kCacheMisses);
-  // Demand read + prefetches (fixed inline storage, as in IssueMiss).
-  InlineVec<SwapSlot, kMaxPrefetchCandidates + 1> batch;
-  batch.push_back(slot);  // index 0 = demand page, by convention
+  // Demand read + prefetches, each entry tagged with its IoClass (fixed
+  // inline storage, as in IssueMiss; the demand entry leads so ready[0]
+  // lines up with it below).
+  InlineVec<IoRequest, kMaxPrefetchCandidates + 1> batch;
+  batch.push_back(DemandRead(slot, pid, now));
   for (SwapSlot p : GeneratePrefetches(MakeFaultContext(pid, slot, now))) {
-    batch.push_back(p);
+    batch.push_back(PrefetchRead(p, pid, now));
   }
   Pfn demand_pfn = kInvalidPfn;
   const SimTimeNs cpu = AllocateFrame(now, &demand_pfn);
   InlineVec<SimTimeNs, kMaxPrefetchCandidates + 1> ready;
   ready.resize(batch.size());
   const SimTimeNs demand_ready = data_path_->ReadPages(
-      std::span<const SwapSlot>(batch.data(), batch.size()), now + cpu, rng_,
+      std::span<const IoRequest>(batch.data(), batch.size()), now + cpu, rng_,
       std::span<SimTimeNs>(ready.data(), ready.size()));
   counters_.Add(counter::kDemandReads);
   counters_.Add(counter::kCacheAdds, batch.size());
@@ -797,22 +802,23 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
     counters_.Add(counter::kRemoteReads, batch.size());
   }
   for (size_t i = 0; i < batch.size(); ++i) {
+    const bool is_demand = batch[i].cls == IoClass::kDemandRead;
     Pfn pfn = demand_pfn;
-    if (i > 0) {
+    if (!is_demand) {
       AllocateFrame(now, &pfn);
     }
     CacheEntry entry;
     entry.pfn = pfn;
     entry.pid = pid;
-    entry.prefetched = i > 0;
+    entry.prefetched = !is_demand;
     entry.ready_at = ready[i];
     entry.added_at = now;
-    if (i == 0) {
+    if (is_demand) {
       entry.first_hit_at = now;
-      cache_.Insert(batch[i], entry);
+      cache_.Insert(batch[i].slot, entry);
       continue;
     }
-    if (!cache_.Insert(batch[i], entry)) {
+    if (!cache_.Insert(batch[i].slot, entry)) {
       // See InsertPrefetchEntries: a rejected insert must not leak the
       // frame or fake an Issued.
       if (pfn != kInvalidPfn) {
@@ -820,9 +826,9 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
       }
       continue;
     }
-    NotifyPrefetchIssued(pid, batch[i], ready[i], now);
+    NotifyPrefetchIssued(pid, batch[i].slot, ready[i], now);
     if (config_.eviction == EvictionKind::kEagerLeap) {
-      prefetch_fifo_.OnPrefetched(batch[i]);
+      prefetch_fifo_.OnPrefetched(batch[i].slot);
     }
   }
   evict_if_over_limit();

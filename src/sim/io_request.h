@@ -1,0 +1,101 @@
+// Unified I/O descriptor: one tagged record per page op, carried end to end
+// through the data path (Machine/DataPath -> RequestQueue -> BackingStore /
+// HostAgent -> RdmaNic -> Fabric -> RemoteAgent).
+//
+// Before this header existed, the path threaded ad-hoc positional
+// parameters (a bare SwapSlot span plus "the demand page is index 0 by
+// convention", enforced only by asserts and comments), so no layer below
+// the fault handler could tell a demand fetch from a prefetch, a writeback
+// from repair traffic. The descriptor makes the class explicit at every
+// hop, which is what lets the fabric's per-link schedulers keep prefetch
+// and repair storms off the demand-fetch critical path (the paper's
+// section 4 claim; see src/cluster/link_scheduler.h) and lets congestion
+// telemetry be reported per class instead of as one mixed signal.
+#ifndef LEAP_SRC_SIM_IO_REQUEST_H_
+#define LEAP_SRC_SIM_IO_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace leap {
+
+// Traffic class of one page op. Order matters: kDemandRead must stay first
+// (schedulers treat it as the top priority class) and the enum indexes the
+// per-class accounting arrays.
+enum class IoClass : uint8_t {
+  kDemandRead = 0,  // a faulting process is blocked on this page
+  kPrefetch,        // speculative read issued alongside a demand fetch
+  kWriteback,       // dirty file/cache page flushed to the backing store
+  kEviction,        // swap-out of a reclaimed dirty anonymous page
+  kRepair,          // re-replication traffic after a node failure
+};
+
+inline constexpr size_t kIoClassCount = 5;
+
+constexpr const char* IoClassName(IoClass cls) {
+  switch (cls) {
+    case IoClass::kDemandRead: return "demand_read";
+    case IoClass::kPrefetch: return "prefetch";
+    case IoClass::kWriteback: return "writeback";
+    case IoClass::kEviction: return "eviction";
+    case IoClass::kRepair: return "repair";
+  }
+  return "unknown";
+}
+
+// The two classes that make up the demand-fetch critical path: a demand
+// read stalls a process now; a prefetch is the read the next fault hopes to
+// find complete. Everything else (writeback/eviction/repair) is background
+// bandwidth whose latency no process observes directly.
+constexpr bool IsDataClass(IoClass cls) {
+  return cls == IoClass::kDemandRead || cls == IoClass::kPrefetch;
+}
+
+// One page op. `slot` addresses the page in the backing store; the rest is
+// metadata the lower layers use for scheduling and accounting. `host` is
+// stamped by the host's RdmaNic when the op enters a shared fabric (layers
+// above the NIC do not know their uplink id).
+struct IoRequest {
+  SwapSlot slot = kInvalidSlot;
+  Pid tenant = 0;                        // issuing process (0 = kernel work)
+  uint32_t host = 0;                     // fabric uplink id (NIC-stamped)
+  IoClass cls = IoClass::kDemandRead;
+  uint32_t bytes = kPageSize;            // payload size (headers are the
+                                         // transport's business)
+  SimTimeNs enqueue_ts = 0;              // when the op entered the I/O path
+};
+
+// Batch-entry constructors for the common classes. Readability helpers
+// only: every field stays assignable for callers with unusual needs.
+constexpr IoRequest DemandRead(SwapSlot slot, Pid tenant = 0,
+                               SimTimeNs enqueue_ts = 0) {
+  return IoRequest{slot, tenant, 0, IoClass::kDemandRead, kPageSize,
+                   enqueue_ts};
+}
+
+constexpr IoRequest PrefetchRead(SwapSlot slot, Pid tenant = 0,
+                                 SimTimeNs enqueue_ts = 0) {
+  return IoRequest{slot, tenant, 0, IoClass::kPrefetch, kPageSize,
+                   enqueue_ts};
+}
+
+constexpr IoRequest WritebackOp(SwapSlot slot, Pid tenant = 0,
+                                SimTimeNs enqueue_ts = 0) {
+  return IoRequest{slot, tenant, 0, IoClass::kWriteback, kPageSize,
+                   enqueue_ts};
+}
+
+constexpr IoRequest EvictionWrite(SwapSlot slot, Pid tenant = 0,
+                                  SimTimeNs enqueue_ts = 0) {
+  return IoRequest{slot, tenant, 0, IoClass::kEviction, kPageSize,
+                   enqueue_ts};
+}
+
+constexpr IoRequest RepairCopy(SwapSlot slot, SimTimeNs enqueue_ts = 0) {
+  return IoRequest{slot, 0, 0, IoClass::kRepair, kPageSize, enqueue_ts};
+}
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_SIM_IO_REQUEST_H_

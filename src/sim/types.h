@@ -59,15 +59,33 @@ using CandidateVec = InlineVec<SwapSlot, kMaxPrefetchCandidates>;
 
 // Congestion snapshot produced by the transport layer (HostAgent/Fabric)
 // and consumed by prefetch policies and the budget governor. Lives here so
-// src/rdma does not depend on src/prefetch. Both fields are cheap copies
-// of continuously-maintained state - a snapshot costs two loads.
+// src/rdma does not depend on src/prefetch. All fields are cheap copies
+// of continuously-maintained state - a snapshot costs a few loads.
 struct CongestionSignals {
   // EWMA of fabric queue delay (wait for a link serialization slot plus
-  // incast congestion stall) per page op, in ns. 0 when not fabric-bound.
+  // incast congestion stall) per page op, in ns, across ALL traffic
+  // classes. 0 when not fabric-bound. Kept for policies that want the
+  // aggregate view; congestion *control* should key on the per-class
+  // signals below so repair/writeback noise cannot masquerade as
+  // data-path congestion.
   double queue_delay_ewma_ns = 0.0;
+  // Per-class EWMAs of the same quantity for the two classes on the
+  // demand-fetch critical path (IoClass::kDemandRead / kPrefetch). The
+  // budget governor keys on these.
+  double demand_queue_delay_ewma_ns = 0.0;
+  double prefetch_queue_delay_ewma_ns = 0.0;
   // Cumulative remote_capacity_exhausted events seen by this host's agent.
   // Monotone; consumers diff consecutive snapshots for "recent ticks".
   uint64_t capacity_exhausted_total = 0;
+
+  // The data-path congestion signal: the worse of the demand and prefetch
+  // queue-delay EWMAs. Background classes (writeback/eviction/repair) are
+  // deliberately excluded.
+  double DataQueueDelayNs() const {
+    return demand_queue_delay_ewma_ns > prefetch_queue_delay_ewma_ns
+               ? demand_queue_delay_ewma_ns
+               : prefetch_queue_delay_ewma_ns;
+  }
 };
 
 }  // namespace leap

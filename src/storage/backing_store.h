@@ -1,7 +1,9 @@
 // Backing-store interface: where cold pages live (disk or remote memory).
 //
 // Reads are submitted in already-merged batches (the block layer sorts and
-// merges before dispatch; Leap's lean path submits per-page). Each store
+// merges before dispatch; Leap's lean path submits per-page) of tagged
+// IoRequest descriptors - each entry carries its slot plus the IoClass /
+// tenant metadata the lower transports schedule and account by. Each store
 // reports a completion time per page so the caller can distinguish the
 // demand page's readiness from trailing prefetch pages.
 #ifndef LEAP_SRC_STORAGE_BACKING_STORE_H_
@@ -10,6 +12,7 @@
 #include <span>
 #include <string>
 
+#include "src/sim/io_request.h"
 #include "src/sim/rng.h"
 #include "src/sim/types.h"
 
@@ -19,13 +22,15 @@ class BackingStore {
  public:
   virtual ~BackingStore() = default;
 
-  // Issues reads for `slots` starting at `now`; writes each page's
-  // completion time into `ready_at` (same indexing as `slots`).
-  virtual void ReadPages(std::span<const SwapSlot> slots, SimTimeNs now,
+  // Issues reads for `reqs` starting at `now`; writes each page's
+  // completion time into `ready_at` (same indexing as `reqs`). Local
+  // devices ignore the tags; the remote path schedules by them.
+  virtual void ReadPages(std::span<const IoRequest> reqs, SimTimeNs now,
                          Rng& rng, std::span<SimTimeNs> ready_at) = 0;
 
   // Issues one page write; returns its completion time.
-  virtual SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) = 0;
+  virtual SimTimeNs WritePage(const IoRequest& req, SimTimeNs now,
+                              Rng& rng) = 0;
 
   virtual std::string name() const = 0;
 

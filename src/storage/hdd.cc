@@ -36,19 +36,19 @@ SimTimeNs Hdd::AccessOne(SwapSlot slot, SimTimeNs start, Rng& rng) {
   return start + service;
 }
 
-void Hdd::ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
+void Hdd::ReadPages(std::span<const IoRequest> reqs, SimTimeNs now, Rng& rng,
                     std::span<SimTimeNs> ready_at) {
   SimTimeNs t = std::max(now, busy_until_);
-  for (size_t i = 0; i < slots.size(); ++i) {
-    t = AccessOne(slots[i], t, rng);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    t = AccessOne(reqs[i].slot, t, rng);
     ready_at[i] = t;
   }
   busy_until_ = t;
 }
 
-SimTimeNs Hdd::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
+SimTimeNs Hdd::WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) {
   const SimTimeNs start = std::max(now, busy_until_);
-  const SimTimeNs done = AccessOne(slot, start, rng);
+  const SimTimeNs done = AccessOne(req.slot, start, rng);
   busy_until_ = done;
   return done;
 }

@@ -27,9 +27,9 @@ class Hdd : public BackingStore {
  public:
   explicit Hdd(const HddConfig& config = HddConfig());
 
-  void ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
+  void ReadPages(std::span<const IoRequest> reqs, SimTimeNs now, Rng& rng,
                  std::span<SimTimeNs> ready_at) override;
-  SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) override;
+  SimTimeNs WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) override;
   std::string name() const override { return "hdd"; }
   double MeanReadLatencyNs() const override;
 

@@ -12,10 +12,10 @@ Ssd::Ssd(const SsdConfig& config)
                                   config.write_min_ns)),
       busy_until_(std::max<size_t>(1, config.channels), 0) {}
 
-void Ssd::ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
+void Ssd::ReadPages(std::span<const IoRequest> reqs, SimTimeNs now, Rng& rng,
                     std::span<SimTimeNs> ready_at) {
-  for (size_t i = 0; i < slots.size(); ++i) {
-    auto& busy = busy_until_[ChannelFor(slots[i])];
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    auto& busy = busy_until_[ChannelFor(reqs[i].slot)];
     const SimTimeNs start = std::max(now, busy);
     const SimTimeNs done = start + read_.Sample(rng);
     busy = done;
@@ -23,8 +23,8 @@ void Ssd::ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
   }
 }
 
-SimTimeNs Ssd::WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) {
-  auto& busy = busy_until_[ChannelFor(slot)];
+SimTimeNs Ssd::WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) {
+  auto& busy = busy_until_[ChannelFor(req.slot)];
   const SimTimeNs start = std::max(now, busy);
   const SimTimeNs done = start + write_.Sample(rng);
   busy = done;

@@ -24,9 +24,9 @@ class Ssd : public BackingStore {
  public:
   explicit Ssd(const SsdConfig& config = SsdConfig());
 
-  void ReadPages(std::span<const SwapSlot> slots, SimTimeNs now, Rng& rng,
+  void ReadPages(std::span<const IoRequest> reqs, SimTimeNs now, Rng& rng,
                  std::span<SimTimeNs> ready_at) override;
-  SimTimeNs WritePage(SwapSlot slot, SimTimeNs now, Rng& rng) override;
+  SimTimeNs WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) override;
   std::string name() const override { return "ssd"; }
   double MeanReadLatencyNs() const override { return read_.MeanNs(); }
 

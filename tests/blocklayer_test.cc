@@ -1,7 +1,11 @@
-// Block layer: elevator merge/sort, batching semantics, stage overheads.
+// Block layer: elevator merge/sort, batching semantics, stage overheads,
+// and the tagged-batch contract (the demand page is identified by its
+// IoClass tag, not by its position).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "src/blocklayer/request_queue.h"
 #include "src/storage/hdd.h"
@@ -9,6 +13,17 @@
 
 namespace leap {
 namespace {
+
+// Read batch builder: first slot demand, the rest prefetches - the shape
+// the fault path produces.
+std::vector<IoRequest> ReadBatch(const std::vector<SwapSlot>& slots) {
+  std::vector<IoRequest> reqs;
+  reqs.reserve(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    reqs.push_back(i == 0 ? DemandRead(slots[i]) : PrefetchRead(slots[i]));
+  }
+  return reqs;
+}
 
 TEST(Bio, MergePredicate) {
   const Bio a{100, 4, false, 0};
@@ -20,8 +35,8 @@ TEST(Bio, MergePredicate) {
 }
 
 TEST(RequestQueue, MergeAndSortCollapsesContiguousRuns) {
-  const std::vector<SwapSlot> slots = {7, 5, 6, 100, 101, 3};
-  const auto requests = RequestQueue::MergeAndSort(slots, false, 0);
+  const auto reqs = ReadBatch({7, 5, 6, 100, 101, 3});
+  const auto requests = RequestQueue::MergeAndSort(reqs, 0);
   ASSERT_EQ(requests.size(), 3u);
   EXPECT_EQ(requests[0].start, 3u);
   EXPECT_EQ(requests[0].npages, 1u);
@@ -32,10 +47,28 @@ TEST(RequestQueue, MergeAndSortCollapsesContiguousRuns) {
 }
 
 TEST(RequestQueue, MergeAndSortDeduplicates) {
-  const std::vector<SwapSlot> slots = {4, 4, 5, 5};
-  const auto requests = RequestQueue::MergeAndSort(slots, false, 0);
+  const auto reqs = ReadBatch({4, 4, 5, 5});
+  const auto requests = RequestQueue::MergeAndSort(reqs, 0);
   ASSERT_EQ(requests.size(), 1u);
   EXPECT_EQ(requests[0].npages, 2u);
+}
+
+TEST(RequestQueue, DuplicateSlotKeepsDemandIdentity) {
+  // A prefetch that collides with the demand slot dedups away; the merged
+  // request set is identical whichever entry came first in the batch.
+  const std::vector<IoRequest> demand_first = {DemandRead(4),
+                                               PrefetchRead(4),
+                                               PrefetchRead(5)};
+  const std::vector<IoRequest> prefetch_first = {PrefetchRead(4),
+                                                 DemandRead(4),
+                                                 PrefetchRead(5)};
+  const auto a = RequestQueue::MergeAndSort(demand_first, 0);
+  const auto b = RequestQueue::MergeAndSort(prefetch_first, 0);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].start, b[0].start);
+  EXPECT_EQ(a[0].npages, 2u);
+  EXPECT_EQ(b[0].npages, 2u);
 }
 
 class RequestQueueTest : public ::testing::Test {
@@ -48,9 +81,9 @@ class RequestQueueTest : public ::testing::Test {
 };
 
 TEST_F(RequestQueueTest, SingleReadPaysAllStages) {
-  const SwapSlot slot = 9;
+  const IoRequest req = DemandRead(9);
   SimTimeNs ready = 0;
-  queue_.SubmitBatch({&slot, 1}, false, 0, rng_, {&ready, 1});
+  queue_.SubmitBatch({&req, 1}, 0, rng_, {&ready, 1});
   // Minimum possible: stage floors + device floor.
   const BlockLayerConfig config;
   EXPECT_GE(ready, config.prep_min_ns + config.queue_min_ns +
@@ -63,9 +96,9 @@ TEST_F(RequestQueueTest, StageOverheadAveragesNearFigure1) {
   const int n = 3000;
   SimTimeNs now = 0;
   for (int i = 0; i < n; ++i) {
-    const SwapSlot slot = static_cast<SwapSlot>(i) * 1000;
+    const IoRequest req = DemandRead(static_cast<SwapSlot>(i) * 1000);
     SimTimeNs ready = 0;
-    queue_.SubmitBatch({&slot, 1}, false, now, rng_, {&ready, 1});
+    queue_.SubmitBatch({&req, 1}, now, rng_, {&ready, 1});
     sum += static_cast<double>(ready - now);
     now = ready + 200000;
   }
@@ -80,9 +113,9 @@ TEST_F(RequestQueueTest, PagesCompleteInElevatorOrderOnDisk) {
   // later slots of a merged run finish no earlier than earlier ones.
   Hdd hdd;
   RequestQueue disk_queue(BlockLayerConfig{}, &hdd);
-  std::vector<SwapSlot> batch = {50, 51, 52, 53, 54, 55, 56, 57};
+  const auto batch = ReadBatch({50, 51, 52, 53, 54, 55, 56, 57});
   std::vector<SimTimeNs> ready(batch.size(), 0);
-  disk_queue.SubmitBatch(batch, false, 0, rng_, ready);
+  disk_queue.SubmitBatch(batch, 0, rng_, ready);
   for (size_t i = 1; i < ready.size(); ++i) {
     EXPECT_GE(ready[i], ready[i - 1]);
   }
@@ -90,12 +123,15 @@ TEST_F(RequestQueueTest, PagesCompleteInElevatorOrderOnDisk) {
 
 TEST_F(RequestQueueTest, DemandInMiddleOfRunWaitsForPredecessors) {
   // A demand page sorted behind prefetch pages eats their service time -
-  // the elevator reordering cost of the default path.
+  // the elevator reordering cost of the default path. The demand entry is
+  // identified by its tag wherever it sits in the batch.
   Hdd hdd;
   RequestQueue disk_queue(BlockLayerConfig{}, &hdd);
-  std::vector<SwapSlot> batch = {54, 50, 51, 52, 53};  // demand = 54
+  const std::vector<IoRequest> batch = {DemandRead(54), PrefetchRead(50),
+                                        PrefetchRead(51), PrefetchRead(52),
+                                        PrefetchRead(53)};
   std::vector<SimTimeNs> ready(batch.size(), 0);
-  disk_queue.SubmitBatch(batch, false, 0, rng_, ready);
+  disk_queue.SubmitBatch(batch, 0, rng_, ready);
   // The demand page (slot 54) completes last in the merged run.
   for (size_t i = 1; i < ready.size(); ++i) {
     EXPECT_LE(ready[i], ready[0]);
@@ -103,15 +139,15 @@ TEST_F(RequestQueueTest, DemandInMiddleOfRunWaitsForPredecessors) {
 }
 
 TEST_F(RequestQueueTest, MergedBatchCountsBios) {
-  std::vector<SwapSlot> batch = {10, 11, 12, 13};
+  const auto batch = ReadBatch({10, 11, 12, 13});
   std::vector<SimTimeNs> ready(batch.size(), 0);
-  queue_.SubmitBatch(batch, false, 0, rng_, ready);
+  queue_.SubmitBatch(batch, 0, rng_, ready);
   EXPECT_EQ(queue_.requests_dispatched(), 1u);
   EXPECT_EQ(queue_.bios_merged(), 3u);
 }
 
 TEST_F(RequestQueueTest, WritesGoThroughStagesToo) {
-  const SimTimeNs done = queue_.SubmitWrite(77, 0, rng_);
+  const SimTimeNs done = queue_.SubmitWrite(EvictionWrite(77), 0, rng_);
   const BlockLayerConfig config;
   EXPECT_GE(done, config.prep_min_ns + config.queue_min_ns +
                       config.dispatch_min_ns + SsdConfig().write_min_ns);
@@ -119,7 +155,7 @@ TEST_F(RequestQueueTest, WritesGoThroughStagesToo) {
 
 TEST_F(RequestQueueTest, EmptyBatchIsNoOp) {
   std::vector<SimTimeNs> ready;
-  queue_.SubmitBatch({}, false, 0, rng_, ready);
+  queue_.SubmitBatch({}, 0, rng_, ready);
   EXPECT_EQ(queue_.requests_dispatched(), 0u);
 }
 
@@ -128,9 +164,9 @@ TEST_F(RequestQueueTest, HighVarianceDragsMeanAboveMedian) {
   std::vector<SimTimeNs> samples;
   SimTimeNs now = 0;
   for (int i = 0; i < 4000; ++i) {
-    const SwapSlot slot = static_cast<SwapSlot>(i) * 997;
+    const IoRequest req = DemandRead(static_cast<SwapSlot>(i) * 997);
     SimTimeNs ready = 0;
-    queue_.SubmitBatch({&slot, 1}, false, now, rng_, {&ready, 1});
+    queue_.SubmitBatch({&req, 1}, now, rng_, {&ready, 1});
     samples.push_back(ready - now);
     now = ready + 200000;
   }

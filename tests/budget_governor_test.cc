@@ -36,7 +36,10 @@ PrefetchBudgetConfig TestConfig() {
 
 CongestionSignals Congested() {
   CongestionSignals s;
-  s.queue_delay_ewma_ns = 50'000.0;  // well above the 10us threshold
+  // Demand-class congestion, well above the 10us threshold. The aggregate
+  // EWMA rides along as the fabric would report it.
+  s.demand_queue_delay_ewma_ns = 50'000.0;
+  s.queue_delay_ewma_ns = 50'000.0;
   return s;
 }
 
@@ -79,6 +82,27 @@ TEST(BudgetGovernor, AimdShrinkUnderInjectedQueueDelay) {
   EXPECT_EQ(budgets, (std::vector<size_t>{8, 4, 2, 1, 1}));
   EXPECT_TRUE(gov.congested());
   EXPECT_GE(gov.shrink_events(), 4u);
+}
+
+TEST(BudgetGovernor, BackgroundNoiseDoesNotTripCongestion) {
+  // A repair/writeback storm inflates the aggregate queue-delay EWMA while
+  // the demand/prefetch classes stay calm: the governor must not throttle
+  // anyone - background congestion is not data-path congestion.
+  BudgetGovernor gov(TestConfig());
+  SimTimeNs now = 0;
+  gov.BudgetFor(1, now, Calm());
+  CongestionSignals s;
+  s.queue_delay_ewma_ns = 500'000.0;  // aggregate screams...
+  s.demand_queue_delay_ewma_ns = 100.0;    // ...but demand is fine
+  s.prefetch_queue_delay_ewma_ns = 200.0;  // ...and so is prefetch
+  EXPECT_EQ(Epoch(gov, 1, &now, s, /*issued=*/16, /*hits=*/0), 16u);
+  EXPECT_FALSE(gov.congested());
+  EXPECT_EQ(gov.shrink_events(), 0u);
+  // The same delay on the prefetch class alone does trip it.
+  CongestionSignals p;
+  p.prefetch_queue_delay_ewma_ns = 50'000.0;
+  EXPECT_EQ(Epoch(gov, 1, &now, p, /*issued=*/16, /*hits=*/0), 8u);
+  EXPECT_TRUE(gov.congested());
 }
 
 TEST(BudgetGovernor, CapacityExhaustionAloneTripsCongestion) {

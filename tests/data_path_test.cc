@@ -41,12 +41,12 @@ TEST_F(DataPathTest, LeapMissFarFasterThanDefaultMiss) {
   const int n = 2000;
   SimTimeNs now = 0;
   for (int i = 0; i < n; ++i) {
-    const SwapSlot slot = static_cast<SwapSlot>(i) * 131;
+    const IoRequest req = DemandRead(static_cast<SwapSlot>(i) * 131);
     SimTimeNs ready = 0;
     default_sum += static_cast<double>(
-        default_path.ReadPages({&slot, 1}, now, rng_, {&ready, 1}) - now);
+        default_path.ReadPages({&req, 1}, now, rng_, {&ready, 1}) - now);
     leap_sum += static_cast<double>(
-        leap_path.ReadPages({&slot, 1}, now, rng_, {&ready, 1}) - now);
+        leap_path.ReadPages({&req, 1}, now, rng_, {&ready, 1}) - now);
     now += 500000;
   }
   const double default_mean_us = default_sum / n / 1000.0;
@@ -61,7 +61,10 @@ TEST_F(DataPathTest, LeapMissFarFasterThanDefaultMiss) {
 
 TEST_F(DataPathTest, LeapDemandDoesNotWaitForPrefetchPages) {
   LeapDataPath leap_path(LeapPathConfig{}, agent_.get());
-  std::vector<SwapSlot> batch = {10, 11, 12, 13, 14, 15, 16, 17};
+  std::vector<IoRequest> batch = {DemandRead(10)};
+  for (SwapSlot s = 11; s <= 17; ++s) {
+    batch.push_back(PrefetchRead(s));
+  }
   std::vector<SimTimeNs> ready(batch.size(), 0);
   const SimTimeNs demand_ready =
       leap_path.ReadPages(batch, 0, rng_, ready);
@@ -74,8 +77,12 @@ TEST_F(DataPathTest, LeapDemandDoesNotWaitForPrefetchPages) {
 
 TEST_F(DataPathTest, DefaultDemandPaysStagesAndElevatorOrder) {
   DefaultDataPath default_path(DefaultPathConfig{}, agent_.get());
-  // Demand page 14 arrives sorted behind 10..13 in the merged request.
-  std::vector<SwapSlot> batch = {14, 10, 11, 12, 13, 15, 16, 17};
+  // Demand page 14 arrives sorted behind 10..13 in the merged request; it
+  // is identified by its tag, not its batch position.
+  std::vector<IoRequest> batch = {DemandRead(14)};
+  for (SwapSlot s : {10, 11, 12, 13, 15, 16, 17}) {
+    batch.push_back(PrefetchRead(s));
+  }
   std::vector<SimTimeNs> ready(batch.size(), 0);
   const SimTimeNs demand_ready =
       default_path.ReadPages(batch, 0, rng_, ready);

@@ -13,6 +13,15 @@ namespace {
 
 // Deterministic base latency: stddev 0 collapses the Normal sample onto
 // its mean, so completion times are exact functions of the op sequence.
+
+// Builds a demand-read op from `host` (tests drive the fabric directly, so
+// they stamp the uplink id themselves; the NIC does this in production).
+IoRequest Op(uint32_t host, IoClass cls = IoClass::kDemandRead) {
+  IoRequest req = DemandRead(0);
+  req.host = host;
+  req.cls = cls;
+  return req;
+}
 FabricConfig FlatConfig() {
   FabricConfig config;
   config.base_mean_ns = 1000;
@@ -26,8 +35,8 @@ FabricConfig FlatConfig() {
 TEST(Fabric, SharedDownlinkSerializesContendingHosts) {
   Fabric fabric(FlatConfig(), /*num_hosts=*/2, /*num_nodes=*/1);
   Rng rng(1);
-  const SimTimeNs first = fabric.SubmitPageOp(0, 0, 0, rng);
-  const SimTimeNs second = fabric.SubmitPageOp(1, 0, 0, rng);
+  const SimTimeNs first = fabric.SubmitPageOp(Op(0), 0, 0, rng);
+  const SimTimeNs second = fabric.SubmitPageOp(Op(1), 0, 0, rng);
   // Distinct uplinks, same downlink: the second op queues one
   // serialization slot behind the first.
   EXPECT_EQ(second - first, fabric.serialization_ns());
@@ -37,16 +46,16 @@ TEST(Fabric, SharedDownlinkSerializesContendingHosts) {
 TEST(Fabric, IndependentDownlinksDoNotQueueOnEachOther) {
   Fabric fabric(FlatConfig(), 2, 2);
   Rng rng(1);
-  const SimTimeNs a = fabric.SubmitPageOp(0, 0, 0, rng);
-  const SimTimeNs b = fabric.SubmitPageOp(1, 1, 0, rng);
+  const SimTimeNs a = fabric.SubmitPageOp(Op(0), 0, 0, rng);
+  const SimTimeNs b = fabric.SubmitPageOp(Op(1), 1, 0, rng);
   EXPECT_EQ(a, b);
 }
 
 TEST(Fabric, UplinkSerializesOneHostsOps) {
   Fabric fabric(FlatConfig(), 1, 2);
   Rng rng(1);
-  const SimTimeNs a = fabric.SubmitPageOp(0, 0, 0, rng);
-  const SimTimeNs b = fabric.SubmitPageOp(0, 1, 0, rng);
+  const SimTimeNs a = fabric.SubmitPageOp(Op(0), 0, 0, rng);
+  const SimTimeNs b = fabric.SubmitPageOp(Op(0), 1, 0, rng);
   // Different nodes, same host: the uplink paces them.
   EXPECT_EQ(b - a, fabric.serialization_ns());
 }
@@ -64,7 +73,7 @@ TEST(Fabric, CongestionGrowsWithInflightBytes) {
   SimTimeNs max_gap = 0;
   for (int i = 0; i < 32; ++i) {
     const SimTimeNs done =
-        fabric.SubmitPageOp(static_cast<uint32_t>(i % 4), 0, 0, rng);
+        fabric.SubmitPageOp(Op(static_cast<uint32_t>(i % 4)), 0, 0, rng);
     if (i > 0) {
       max_gap = std::max(max_gap, done - prev);
     }
@@ -85,12 +94,12 @@ TEST(Fabric, IdleLinkDrainsInflightAndCongestion) {
   Fabric fabric(config, 1, 1);
   Rng rng(1);
   for (int i = 0; i < 8; ++i) {
-    fabric.SubmitPageOp(0, 0, 0, rng);
+    fabric.SubmitPageOp(Op(0), 0, 0, rng);
   }
   // Far in the future every in-flight byte has landed: an op sees an
   // uncontended link again.
   const SimTimeNs later = 1 * kNsPerSec;
-  const SimTimeNs done = fabric.SubmitPageOp(0, 0, later, rng);
+  const SimTimeNs done = fabric.SubmitPageOp(Op(0), 0, later, rng);
   EXPECT_EQ(done - later, fabric.serialization_ns() + 1000);
 }
 
@@ -101,17 +110,17 @@ TEST(Fabric, AddHostGrowsUplinkSet) {
   EXPECT_EQ(id, 1u);
   EXPECT_EQ(fabric.num_hosts(), 2u);
   Rng rng(1);
-  const SimTimeNs a = fabric.SubmitPageOp(0, 0, 0, rng);
-  const SimTimeNs b = fabric.SubmitPageOp(1, 0, 0, rng);
+  const SimTimeNs a = fabric.SubmitPageOp(Op(0), 0, 0, rng);
+  const SimTimeNs b = fabric.SubmitPageOp(Op(1), 0, 0, rng);
   EXPECT_EQ(b - a, fabric.serialization_ns());  // shares the downlink
 }
 
 TEST(Fabric, PerLinkAccountingSumsToTotals) {
   Fabric fabric(FlatConfig(), 2, 2);
   Rng rng(3);
-  fabric.SubmitPageOp(0, 0, 0, rng);
-  fabric.SubmitPageOp(0, 1, 0, rng);
-  fabric.SubmitPageOp(1, 1, 0, rng);
+  fabric.SubmitPageOp(Op(0), 0, 0, rng);
+  fabric.SubmitPageOp(Op(0), 1, 0, rng);
+  fabric.SubmitPageOp(Op(1), 1, 0, rng);
   EXPECT_EQ(fabric.ops(), 3u);
   EXPECT_EQ(fabric.host_ops(0), 2u);
   EXPECT_EQ(fabric.host_ops(1), 1u);
@@ -129,7 +138,7 @@ TEST(Fabric, SameSeedBitIdentical) {
     Rng rng(99);
     SimTimeNs now = 0;
     for (int i = 0; i < 500; ++i) {
-      out->push_back(fabric.SubmitPageOp(static_cast<uint32_t>(i % 4),
+      out->push_back(fabric.SubmitPageOp(Op(static_cast<uint32_t>(i % 4)),
                                          static_cast<uint32_t>(i % 2), now,
                                          rng));
       now += 100;

@@ -119,9 +119,9 @@ TEST_F(HostAgentTest, SlabMappedOnFirstTouch) {
   Build(2, 1);
   EXPECT_EQ(agent_->mapped_slab_count(), 0u);
   Rng rng(5);
-  const SwapSlot slot = 10;
+  const IoRequest req = DemandRead(10);
   SimTimeNs ready = 0;
-  agent_->ReadPages({&slot, 1}, 0, rng, {&ready, 1});
+  agent_->ReadPages({&req, 1}, 0, rng, {&ready, 1});
   EXPECT_EQ(agent_->mapped_slab_count(), 1u);
   EXPECT_GT(ready, 0u);
 }
@@ -138,9 +138,9 @@ TEST_F(HostAgentTest, PowerOfTwoChoicesBalancesLoad) {
   Rng rng(6);
   // Touch 200 slabs.
   for (SwapSlot slab = 0; slab < 200; ++slab) {
-    const SwapSlot slot = slab * 16;
+    const IoRequest req = DemandRead(slab * 16);
     SimTimeNs ready = 0;
-    agent_->ReadPages({&slot, 1}, 0, rng, {&ready, 1});
+    agent_->ReadPages({&req, 1}, 0, rng, {&ready, 1});
   }
   const auto loads = agent_->NodeLoads();
   const size_t min_load = *std::min_element(loads.begin(), loads.end());
@@ -176,7 +176,7 @@ TEST_F(HostAgentTest, FailoverToReplicaAfterPrimaryFailure) {
 TEST_F(HostAgentTest, ReplicatedWritesCompleteAfterAllReplicas) {
   Build(2, 2);
   Rng rng(9);
-  const SimTimeNs one = agent_->WritePage(0, 0, rng);
+  const SimTimeNs one = agent_->WritePage(EvictionWrite(0), 0, rng);
   // A write to 2 replicas costs at least one op, and the completion is the
   // max over replicas.
   EXPECT_GT(one, 0u);

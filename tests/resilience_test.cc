@@ -103,9 +103,9 @@ TEST(Resilience, PlacementSpreadsLoadAcrossManyNodes) {
   HostAgent agent(config, refs, 17);
   Rng rng(17);
   for (SwapSlot slab = 0; slab < 400; ++slab) {
-    const SwapSlot slot = slab * 8;
+    const IoRequest req = DemandRead(slab * 8);
     SimTimeNs ready = 0;
-    agent.ReadPages({&slot, 1}, 0, rng, {&ready, 1});
+    agent.ReadPages({&req, 1}, 0, rng, {&ready, 1});
   }
   const auto loads = agent.NodeLoads();
   const size_t total = std::accumulate(loads.begin(), loads.end(), 0u);

@@ -15,9 +15,9 @@ TEST(Hdd, RandomReadsAverageNearCalibration) {
   const int n = 3000;
   SimTimeNs now = 0;
   for (int i = 0; i < n; ++i) {
-    const SwapSlot slot = rng.NextU64(1 << 24);
+    const IoRequest req = DemandRead(rng.NextU64(1 << 24));
     SimTimeNs ready = 0;
-    hdd.ReadPages({&slot, 1}, now, rng, {&ready, 1});
+    hdd.ReadPages({&req, 1}, now, rng, {&ready, 1});
     sum += static_cast<double>(ready - now);
     now = ready + 1000;  // idle gap so requests do not queue
   }
@@ -32,22 +32,22 @@ TEST(Hdd, SequentialReadsSkipSeek) {
   Rng rng(6);
   SimTimeNs now = 0;
   // Position the head.
-  SwapSlot slot = 1000;
+  IoRequest req = DemandRead(1000);
   SimTimeNs ready = 0;
-  hdd.ReadPages({&slot, 1}, now, rng, {&ready, 1});
+  hdd.ReadPages({&req, 1}, now, rng, {&ready, 1});
   now = ready;
   // Next sequential page: transfer-only.
-  slot = 1001;
-  hdd.ReadPages({&slot, 1}, now, rng, {&ready, 1});
+  req = DemandRead(1001);
+  hdd.ReadPages({&req, 1}, now, rng, {&ready, 1});
   EXPECT_EQ(ready - now, HddConfig().transfer_ns);
 }
 
 TEST(Hdd, BatchOfSequentialPagesAmortizesSeek) {
   Hdd hdd;
   Rng rng(7);
-  std::vector<SwapSlot> batch(8);
+  std::vector<IoRequest> batch(8);
   for (size_t i = 0; i < batch.size(); ++i) {
-    batch[i] = 5000 + i;
+    batch[i] = i == 0 ? DemandRead(5000) : PrefetchRead(5000 + i);
   }
   std::vector<SimTimeNs> ready(8, 0);
   hdd.ReadPages(batch, 0, rng, ready);
@@ -62,8 +62,8 @@ TEST(Hdd, BatchOfSequentialPagesAmortizesSeek) {
 TEST(Hdd, RequestsSerializeBehindBusyDevice) {
   Hdd hdd;
   Rng rng(8);
-  const SwapSlot a = 1;
-  const SwapSlot b = 100000;
+  const IoRequest a = DemandRead(1);
+  const IoRequest b = DemandRead(100000);
   SimTimeNs ready_a = 0;
   SimTimeNs ready_b = 0;
   hdd.ReadPages({&a, 1}, 0, rng, {&ready_a, 1});
@@ -75,11 +75,11 @@ TEST(Hdd, RequestsSerializeBehindBusyDevice) {
 TEST(Hdd, WritesOccupyTheHead) {
   Hdd hdd;
   Rng rng(9);
-  const SimTimeNs w = hdd.WritePage(42, 0, rng);
+  const SimTimeNs w = hdd.WritePage(EvictionWrite(42), 0, rng);
   EXPECT_GT(w, 0u);
-  const SwapSlot slot = 43;
+  const IoRequest req = DemandRead(43);
   SimTimeNs ready = 0;
-  hdd.ReadPages({&slot, 1}, 0, rng, {&ready, 1});
+  hdd.ReadPages({&req, 1}, 0, rng, {&ready, 1});
   EXPECT_GE(ready, w);  // read waited for the write
 }
 
@@ -90,9 +90,9 @@ TEST(Ssd, ReadsAverageNearCalibration) {
   const int n = 5000;
   SimTimeNs now = 0;
   for (int i = 0; i < n; ++i) {
-    const SwapSlot slot = rng.NextU64(1 << 24);
+    const IoRequest req = DemandRead(rng.NextU64(1 << 24));
     SimTimeNs ready = 0;
-    ssd.ReadPages({&slot, 1}, now, rng, {&ready, 1});
+    ssd.ReadPages({&req, 1}, now, rng, {&ready, 1});
     sum += static_cast<double>(ready - now);
     now = ready + 5000;
   }
@@ -108,7 +108,8 @@ TEST(Ssd, ChannelsServeDisjointSlotsInParallel) {
   Ssd ssd(config);
   Rng rng(11);
   // Four slots mapping to four distinct channels, issued together.
-  std::vector<SwapSlot> batch = {0, 1, 2, 3};
+  const std::vector<IoRequest> batch = {DemandRead(0), PrefetchRead(1),
+                                        PrefetchRead(2), PrefetchRead(3)};
   std::vector<SimTimeNs> ready(4, 0);
   ssd.ReadPages(batch, 0, rng, ready);
   // Parallel channels: the batch finishes in ~1 read, not 4.
@@ -122,7 +123,7 @@ TEST(Ssd, SameChannelSerializes) {
   Ssd ssd(config);
   Rng rng(12);
   // Slots 0 and 4 share channel 0.
-  std::vector<SwapSlot> batch = {0, 4};
+  const std::vector<IoRequest> batch = {DemandRead(0), PrefetchRead(4)};
   std::vector<SimTimeNs> ready(2, 0);
   ssd.ReadPages(batch, 0, rng, ready);
   EXPECT_GT(ready[1], ready[0]);
@@ -133,7 +134,7 @@ TEST(Ssd, WritesSlowerThanReads) {
   Ssd ssd;
   EXPECT_GT(SsdConfig().write_mean_ns, SsdConfig().read_mean_ns);
   Rng rng(13);
-  const SimTimeNs done = ssd.WritePage(9, 0, rng);
+  const SimTimeNs done = ssd.WritePage(EvictionWrite(9), 0, rng);
   EXPECT_GE(done, SsdConfig().write_min_ns);
 }
 
