@@ -63,6 +63,14 @@ struct ScaleResult {
   double agg_accesses_per_sim_sec = 0.0;
   uint64_t total_remote_reads = 0;  // determinism fingerprint
   SimTimeNs max_completion_ns = 0;
+  // Resilience counters: all zero in this fault-free bench (the invariant
+  // the determinism tests pin down), nonzero only if mitigation ever fires.
+  uint64_t read_retries = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t hedged_reads = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t reads_rerouted = 0;
+  uint64_t gray_transitions = 0;
 };
 
 ScaleResult RunScale(const BenchGeometry& geo, size_t hosts,
@@ -107,6 +115,12 @@ ScaleResult RunScale(const BenchGeometry& geo, size_t hosts,
   out.capacity_exhausted =
       stats.totals.Get(counter::kRemoteCapacityExhausted);
   out.total_remote_reads = stats.totals.Get(counter::kRemoteReads);
+  out.read_retries = stats.totals.Get(counter::kReadRetries);
+  out.deadline_misses = stats.totals.Get(counter::kReadDeadlineMisses);
+  out.hedged_reads = stats.totals.Get(counter::kHedgedReads);
+  out.hedge_wins = stats.totals.Get(counter::kHedgeWins);
+  out.reads_rerouted = stats.totals.Get(counter::kReadsRerouted);
+  out.gray_transitions = stats.totals.Get(counter::kGrayTransitions);
   out.agg_accesses_per_sim_sec =
       out.max_completion_ns == 0
           ? 0.0
@@ -145,7 +159,10 @@ void WriteJson(const char* path, const BenchGeometry& geo,
         "%llu, \"fabric_queue_delay_mean_ns\": %.1f, \"fabric_ops\": %llu, "
         "\"slab_imbalance\": %zu, \"capacity_exhausted\": %llu, "
         "\"agg_accesses_per_sim_sec\": %.0f, \"remote_reads\": %llu, "
-        "\"max_completion_ns\": %llu}%s\n",
+        "\"max_completion_ns\": %llu, "
+        "\"resilience\": {\"read_retries\": %llu, \"deadline_misses\": %llu, "
+        "\"hedged_reads\": %llu, \"hedge_wins\": %llu, "
+        "\"reads_rerouted\": %llu, \"gray_transitions\": %llu}}%s\n",
         s.hosts, static_cast<unsigned long long>(s.p50_remote_ns),
         static_cast<unsigned long long>(s.p99_remote_ns),
         s.fabric_queue_delay_mean_ns,
@@ -154,6 +171,12 @@ void WriteJson(const char* path, const BenchGeometry& geo,
         s.agg_accesses_per_sim_sec,
         static_cast<unsigned long long>(s.total_remote_reads),
         static_cast<unsigned long long>(s.max_completion_ns),
+        static_cast<unsigned long long>(s.read_retries),
+        static_cast<unsigned long long>(s.deadline_misses),
+        static_cast<unsigned long long>(s.hedged_reads),
+        static_cast<unsigned long long>(s.hedge_wins),
+        static_cast<unsigned long long>(s.reads_rerouted),
+        static_cast<unsigned long long>(s.gray_transitions),
         i + 1 < scales.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

@@ -24,6 +24,15 @@ uint32_t Fabric::AddHost() {
   return static_cast<uint32_t>(uplinks_.size() - 1);
 }
 
+void Fabric::SetNodeSlowdown(uint32_t node, double factor) {
+  downlinks_[node % downlinks_.size()].slowdown =
+      factor > 0.0 ? factor : 1.0;
+}
+
+void Fabric::SetNodeExtraDelayNs(uint32_t node, SimTimeNs extra) {
+  downlinks_[node % downlinks_.size()].extra_delay_ns = extra;
+}
+
 void Fabric::Drain(Link& link, SimTimeNs now) {
   while (link.count > 0) {
     const Pending& front = link.ring[link.head];
@@ -91,9 +100,47 @@ SimTimeNs Fabric::SubmitPageOp(const IoRequest& req, uint32_t node,
   // The scheduler picks the op's wire slot on the sender's uplink and the
   // receiver's downlink; a hot node's downlink is where contending hosts
   // queue behind each other (incast).
+  const SimTimeNs up_busy_before = up.sched.busy_until;
+  const SimTimeNs up_demand_before = up.sched.demand_until;
   const SimTimeNs wire_start =
       scheduler_->ScheduleOp(up.sched, down.sched, req, sched_now, slot_ns);
-  const SimTimeNs wire_end = wire_start + slot_ns;
+
+  // A gray downlink must not hold the initiating uplink hostage: the
+  // schedulers advance the uplink horizon to the granted slot's end, and
+  // when that slot was dictated by a stretched downlink's backlog the
+  // sender's healthy uplink would inherit the gray node's entire queue -
+  // one probe to a gray node would then stall the host's reads to every
+  // OTHER node. The sender only spends its own serialization time, so cap
+  // the uplink advance at one slot past where the uplink was actually
+  // free. Guarded by the exact != 1.0 check: no-fault runs take the
+  // schedulers' horizons bit-identically.
+  if (down.slowdown != 1.0) {
+    up.sched.busy_until =
+        std::min(up.sched.busy_until,
+                 std::max(up_busy_before, sched_now) + slot_ns);
+    up.sched.demand_until =
+        std::min(up.sched.demand_until,
+                 std::max(up_demand_before, sched_now) + slot_ns);
+  }
+
+  // Gray-node stretch: a gray downlink serializes this op slower by the
+  // configured factor, and the extra time occupies the downlink (its
+  // horizons ratchet to the stretched end, so the node's service rate
+  // drops by the factor - exactly the "answers everything, slowly" gray
+  // failure). The uplink is untouched: the sender's link is healthy. The
+  // exact != 1.0 guard keeps no-fault runs bit-identical.
+  SimTimeNs down_extra = 0;
+  if (down.slowdown != 1.0) {
+    down_extra = static_cast<SimTimeNs>(static_cast<double>(slot_ns) *
+                                        (down.slowdown - 1.0));
+  }
+  const SimTimeNs wire_end = wire_start + slot_ns + down_extra;
+  if (down_extra > 0) {
+    down.sched.busy_until = std::max(down.sched.busy_until, wire_end);
+    if (req.cls == IoClass::kDemandRead) {
+      down.sched.demand_until = std::max(down.sched.demand_until, wire_end);
+    }
+  }
   if (capped_repair) {
     const auto pace = static_cast<SimTimeNs>(
         static_cast<double>(slot_ns) /
@@ -112,7 +159,11 @@ SimTimeNs Fabric::SubmitPageOp(const IoRequest& req, uint32_t node,
   const SimTimeNs congestion = static_cast<SimTimeNs>(
       static_cast<double>(backlog) / 1024.0 * config_.congestion_ns_per_kb);
 
-  const SimTimeNs done = wire_end + congestion + base_.Sample(rng);
+  // Packet-delay spike: flat lateness on the path to this node (0 in
+  // healthy runs, so parity holds). Excluded from the in-flight estimate
+  // below like the congestion term - delayed packets are late, not queued.
+  const SimTimeNs spike = down.extra_delay_ns;
+  const SimTimeNs done = wire_end + congestion + spike + base_.Sample(rng);
 
   // In-flight accounting uses wire_end plus the constant mean base - NOT
   // the sampled latency and NOT the congestion term - so ring entries are
@@ -150,7 +201,9 @@ SimTimeNs Fabric::SubmitPageOp(const IoRequest& req, uint32_t node,
         static_cast<double>(done - req.enqueue_ts);
     ++class_sojourn_ops_[cls];
   }
-  const SimTimeNs queue_delay = (wire_start - now) + congestion;
+  // Queue delay includes the spike: congestion control and the health
+  // monitor should both see a delayed path as a slow path.
+  const SimTimeNs queue_delay = (wire_start - now) + congestion + spike;
   queue_delay_hist_.Record(queue_delay);
   // EWMA with alpha = 1/32: smooth enough to ride out single-op spikes,
   // fast enough that a congestion epoch (hundreds of ops) dominates it.

@@ -82,6 +82,25 @@ class Fabric : public PageTransport {
   // Host join: grows the uplink set; returns the new host id.
   uint32_t AddHost();
 
+  // --- fault hooks (driven by the FaultInjector) --------------------------
+  // Gray node: the node's downlink serializes every op `factor`x slower
+  // (the link itself degraded - a flaky cable, a throttled NIC - not the
+  // traffic on it). 1.0 restores full speed. Takes effect on the next op;
+  // ops already granted slots keep their completions (the simulation never
+  // revises a returned time).
+  void SetNodeSlowdown(uint32_t node, double factor);
+  double NodeSlowdown(uint32_t node) const {
+    return downlinks_[node % downlinks_.size()].slowdown;
+  }
+  // Transient packet-delay spike: a flat extra latency on every op to this
+  // node (reroute through a backup path, a microburst drop+retransmit).
+  // Unlike the slowdown it does not consume link capacity - ops are late,
+  // not queued. 0 clears it.
+  void SetNodeExtraDelayNs(uint32_t node, SimTimeNs extra);
+  SimTimeNs NodeExtraDelayNs(uint32_t node) const {
+    return downlinks_[node % downlinks_.size()].extra_delay_ns;
+  }
+
   size_t num_hosts() const { return uplinks_.size(); }
   size_t num_nodes() const { return downlinks_.size(); }
   SimTimeNs serialization_ns() const { return serialization_ns_; }
@@ -155,6 +174,8 @@ class Fabric : public PageTransport {
     LinkSchedState sched;          // slot-assignment horizons
     uint64_t inflight_bytes = 0;   // submitted, not yet (expected) complete
     SimTimeNs last_done_est = 0;   // ring monotonicity clamp (downlinks)
+    double slowdown = 1.0;         // gray-node serialization stretch
+    SimTimeNs extra_delay_ns = 0;  // packet-delay spike (flat add-on)
     uint64_t ops = 0;
     LinkClassCounts classes;
     std::vector<Pending> ring;     // circular FIFO over `head`/`count`

@@ -1,10 +1,43 @@
 #include "src/rdma/host_agent.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "src/cluster/slab_placer.h"
 
 namespace leap {
+
+void ResilienceConfig::Validate() const {
+  if (!enabled) {
+    return;
+  }
+  if (read_deadline_ns == 0) {
+    throw std::invalid_argument(
+        "ResilienceConfig: read_deadline_ns must be > 0");
+  }
+  if (max_read_retries == 0) {
+    throw std::invalid_argument(
+        "ResilienceConfig: max_read_retries must be >= 1 when enabled "
+        "(disable resilience instead of configuring zero retries)");
+  }
+  if (retry_backoff_ns == 0) {
+    throw std::invalid_argument(
+        "ResilienceConfig: retry_backoff_ns must be > 0");
+  }
+  if (backoff_multiplier < 1.0) {
+    throw std::invalid_argument(
+        "ResilienceConfig: backoff_multiplier must be >= 1 (backoff must "
+        "be monotone non-decreasing across attempts)");
+  }
+  if (hedge_enabled && hedge_p99_factor <= 0.0) {
+    throw std::invalid_argument(
+        "ResilienceConfig: hedge_p99_factor must be > 0");
+  }
+  if (avoid_gray_nodes && gray_probe_interval == 0) {
+    throw std::invalid_argument(
+        "ResilienceConfig: gray_probe_interval must be >= 1");
+  }
+}
 
 HostAgent::HostAgent(const HostAgentConfig& config,
                      std::vector<RemoteAgent*> remote_nodes, uint64_t seed)
@@ -27,6 +60,11 @@ void HostAgent::SetPlacer(SlabPlacer* placer) {
   placer_ = placer != nullptr ? placer : default_placer_.get();
 }
 
+void HostAgent::SetResilience(const ResilienceConfig& resilience) {
+  resilience.Validate();
+  resilience_ = resilience;
+}
+
 RemoteAgent* HostAgent::Node(uint32_t id) const {
   for (RemoteAgent* node : nodes_) {
     if (node->node_id() == id) {
@@ -47,6 +85,58 @@ RemoteAgent* HostAgent::ServingNode(const SlabMapping& mapping,
   }
   *failover = false;
   return nullptr;
+}
+
+RemoteAgent* HostAgent::FirstLiveNonGray(const SlabMapping& mapping) const {
+  if (health_ == nullptr) {
+    return nullptr;
+  }
+  for (uint32_t id : mapping.nodes) {
+    RemoteAgent* node = Node(id);
+    if (node != nullptr && !node->failed() && !health_->IsGray(id)) {
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+RemoteAgent* HostAgent::NextLiveReplicaAfter(const SlabMapping& mapping,
+                                             const RemoteAgent* exclude) const {
+  // Round-robin from just past `exclude` in mapping order, so successive
+  // retries of one read spread across the replica set.
+  const size_t n = mapping.nodes.size();
+  size_t start = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (exclude != nullptr && mapping.nodes[i] == exclude->node_id()) {
+      start = i + 1;
+      break;
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    RemoteAgent* node = Node(mapping.nodes[(start + k) % n]);
+    if (node != nullptr && !node->failed() && node != exclude) {
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+RemoteAgent* HostAgent::NextFastestLiveReplica(
+    const SlabMapping& mapping, const RemoteAgent* serving) const {
+  RemoteAgent* best = nullptr;
+  double best_ewma = 0.0;
+  for (uint32_t id : mapping.nodes) {
+    RemoteAgent* node = Node(id);
+    if (node == nullptr || node->failed() || node == serving) {
+      continue;
+    }
+    const double ewma = health_ != nullptr ? health_->NodeEwmaNs(id) : 0.0;
+    if (best == nullptr || ewma < best_ewma) {
+      best = node;
+      best_ewma = ewma;
+    }
+  }
+  return best;
 }
 
 void HostAgent::EnsureSlabMapped(SwapSlot slot) {
@@ -112,16 +202,133 @@ void HostAgent::ReadPages(std::span<const IoRequest> reqs, SimTimeNs now,
       Count(counter::kRemoteReadsLost);
       continue;
     }
+    // Gray avoidance: a node that answers 10-100x late silently poisons
+    // the tail without ever tripping the crash-failover path above. When
+    // the health monitor marks the would-be serving node gray, steer the
+    // read to a live non-gray replica (safe for read-your-writes: a gray
+    // node is live, so every replica in the set absorbed the writes).
+    RemoteAgent* primary = node;
+    bool rerouted = false;
+    if (resilience_.enabled && resilience_.avoid_gray_nodes &&
+        node != nullptr && health_ != nullptr &&
+        health_->IsGray(node->node_id())) {
+      RemoteAgent* alt = FirstLiveNonGray(mapping);
+      if (alt != nullptr && alt != node) {
+        node = alt;
+        rerouted = true;
+        Count(counter::kReadsRerouted);
+      }
+    }
     if (failover) {
       Count(counter::kRemoteFailovers);
     }
     const uint32_t target = node != nullptr ? node->node_id() : 0;
-    ready_at[i] =
+    SimTimeNs done =
         nic_.SubmitPageOpTo(target, QueueFor(slot), reqs[i], now, rng);
     if (node != nullptr) {
       node->CountRead();
+      if (reqs[i].cls == IoClass::kDemandRead) {
+        // Demand completions feed the health monitor's per-node EWMAs
+        // (prefetch latency is policy-shaped under QoS schedulers, so it
+        // would pollute the outlier signal).
+        RecordHealth(target, done - now, now);
+        if (resilience_.enabled) {
+          done = MitigateDemandRead(reqs[i], mapping, node, primary,
+                                    rerouted, done, now, rng);
+        }
+      }
+    }
+    ready_at[i] = done;
+  }
+}
+
+SimTimeNs HostAgent::MitigateDemandRead(const IoRequest& req,
+                                        const SlabMapping& mapping,
+                                        RemoteAgent* serving,
+                                        RemoteAgent* primary, bool rerouted,
+                                        SimTimeNs first_done, SimTimeNs now,
+                                        Rng& rng) {
+  SimTimeNs best = first_done;
+
+  // Gray-primary probe: avoidance starves the monitor of samples from the
+  // node it is avoiding, so a recovered node would stay gray forever.
+  // Every Nth rerouted read duplicates to the gray primary; its completion
+  // feeds the monitor (and can only help the read, since the overall
+  // completion takes the min). The probe keeps the DEMAND class: health is
+  // judged on demand-lane latency, and a background-class probe would
+  // measure the QoS backlog instead, pinning a recovered node gray.
+  if (rerouted && primary != nullptr && !primary->failed() &&
+      reroute_probe_tick_++ % resilience_.gray_probe_interval == 0) {
+    const SimTimeNs probe_done = nic_.SubmitPageOpTo(
+        primary->node_id(), QueueFor(req.slot + 1), req, now, rng);
+    primary->CountRead();
+    RecordHealth(primary->node_id(), probe_done - now, now);
+    best = std::min(best, probe_done);
+  }
+
+  // Hedged read: when the first attempt outlives the p99-based hedge
+  // delay, race a duplicate against the next-fastest live replica and take
+  // the earlier completion. The duplicate is IoClass::kHedge - background
+  // on the links - so hedging can never displace first-issue demand reads.
+  if (resilience_.hedge_enabled && health_ != nullptr) {
+    const SimTimeNs p99 = health_->ReadLatencyP99Ns();
+    if (p99 > 0) {
+      SimTimeNs hedge_delay = std::max(
+          resilience_.hedge_floor_ns,
+          static_cast<SimTimeNs>(static_cast<double>(p99) *
+                                 resilience_.hedge_p99_factor));
+      hedge_delay = std::min(hedge_delay, resilience_.read_deadline_ns);
+      if (best > now + hedge_delay) {
+        RemoteAgent* alt = NextFastestLiveReplica(mapping, serving);
+        if (alt != nullptr) {
+          Count(counter::kHedgedReads);
+          IoRequest hedge = req;
+          hedge.cls = IoClass::kHedge;
+          const SimTimeNs issue = now + hedge_delay;
+          const SimTimeNs hedge_done = nic_.SubmitPageOpTo(
+              alt->node_id(), QueueFor(req.slot + 2), hedge, issue, rng);
+          alt->CountRead();
+          // Deliberately NOT fed to the health monitor: a hedge rides the
+          // background lane, so its completion measures QoS queueing, not
+          // node health - recording it would convict healthy nodes of the
+          // scheduler's own backlog and cascade reroutes onto nowhere.
+          if (hedge_done < best) {
+            Count(counter::kHedgeWins);
+            best = hedge_done;
+          }
+        }
+      }
     }
   }
+
+  // Deadline + retry-with-backoff: the attempt is declared late one
+  // deadline after its issue; the retry goes to the next live replica
+  // (round-robin) after a backoff that grows per attempt. The original
+  // attempt stays in flight - completion is the min across attempts - so
+  // a retry can never make a read slower.
+  SimTimeNs issue = now;
+  SimTimeNs backoff = resilience_.retry_backoff_ns;
+  const RemoteAgent* last = serving;
+  for (size_t attempt = 0; attempt < resilience_.max_read_retries &&
+                           best > issue + resilience_.read_deadline_ns;
+       ++attempt) {
+    Count(counter::kReadDeadlineMisses);
+    RemoteAgent* alt = NextLiveReplicaAfter(mapping, last);
+    if (alt == nullptr) {
+      break;  // nowhere else to go; the in-flight attempt is the answer
+    }
+    issue += resilience_.read_deadline_ns + backoff;
+    backoff = static_cast<SimTimeNs>(static_cast<double>(backoff) *
+                                     resilience_.backoff_multiplier);
+    Count(counter::kReadRetries);
+    const SimTimeNs retry_done = nic_.SubmitPageOpTo(
+        alt->node_id(), QueueFor(req.slot + 3 + attempt), req, issue, rng);
+    alt->CountRead();
+    RecordHealth(alt->node_id(), retry_done - issue, issue);
+    best = std::min(best, retry_done);
+    last = alt;
+  }
+  return best;
 }
 
 SimTimeNs HostAgent::WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) {

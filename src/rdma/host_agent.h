@@ -40,6 +40,80 @@ namespace leap {
 
 class SlabPlacer;
 
+// Node-health view the agent consults for gray-failure mitigation and
+// feeds with read completions. Kept abstract here (like PageTransport in
+// rdma_nic.h) so the rdma layer never depends on the cluster layer;
+// src/cluster/health_monitor.h implements it.
+class NodeHealthTracker {
+ public:
+  virtual ~NodeHealthTracker() = default;
+
+  // One completed read attempt against `node`: latency from issue to
+  // completion. The implementation maintains per-node EWMAs and outlier
+  // scores off this stream.
+  virtual void RecordRead(uint32_t node, SimTimeNs latency_ns,
+                          SimTimeNs now) = 0;
+
+  // True when the node is currently marked gray (answering, but an
+  // outlier-slow one); replica selection steers demand reads away.
+  virtual bool IsGray(uint32_t node) const = 0;
+
+  // Per-node read-latency EWMA in ns (0 before the first sample). Used to
+  // rank replicas ("next-fastest") for hedged reads.
+  virtual double NodeEwmaNs(uint32_t node) const = 0;
+
+  // Cluster-wide p99 of recorded read latencies, the base of the hedge
+  // delay; 0 until enough samples accumulated to make p99 meaningful.
+  virtual SimTimeNs ReadLatencyP99Ns() const = 0;
+};
+
+// Gray-failure mitigation knobs for remote demand reads. Disabled by
+// default: every parameter below is inert and the read path is
+// bit-identical to the unmitigated agent. Before PR 6 the failover retry
+// behavior was a fixed, unconfigurable constant baked into ReadPages;
+// these knobs replace that latent bug class, and Validate() rejects the
+// nonsense values that used to be silently accepted (0 retries, a
+// backoff that shrinks, a zero deadline).
+struct ResilienceConfig {
+  bool enabled = false;
+
+  // --- deadline + retry ---------------------------------------------------
+  // A demand read whose attempt would complete later than issue + deadline
+  // counts a deadline miss and is re-issued against the next live replica.
+  SimTimeNs read_deadline_ns = 100 * kNsPerUs;
+  // Maximum re-issues per demand read (>= 1 when enabled).
+  size_t max_read_retries = 2;
+  // Wait after a deadline miss before the retry goes out; grows by
+  // backoff_multiplier per attempt (must be monotone: multiplier >= 1).
+  SimTimeNs retry_backoff_ns = 10 * kNsPerUs;
+  double backoff_multiplier = 2.0;
+
+  // --- hedged reads -------------------------------------------------------
+  // When the first attempt would outlive the hedge delay, race a duplicate
+  // (IoClass::kHedge, background on the links) against the next-fastest
+  // live replica and take the earlier completion.
+  bool hedge_enabled = true;
+  // Hedge delay = max(floor, factor * monitor p99), clamped to the read
+  // deadline. The p99 base is the classic "defer hedging past the tail
+  // knee" rule (Dean & Barroso, The Tail at Scale).
+  double hedge_p99_factor = 1.0;
+  SimTimeNs hedge_floor_ns = 20 * kNsPerUs;
+
+  // --- gray-node avoidance ------------------------------------------------
+  // Steer demand reads off a gray-marked primary onto a live non-gray
+  // replica (read-your-writes holds: a gray node is live, so every replica
+  // in the set absorbed the writes).
+  bool avoid_gray_nodes = true;
+  // Every Nth rerouted read also probes the gray primary with a duplicate
+  // kHedge op (completion takes the min), so the monitor keeps receiving
+  // fresh samples and can clear the node after it recovers.
+  size_t gray_probe_interval = 128;
+
+  // Throws std::invalid_argument on out-of-range values; no-op when
+  // enabled is false.
+  void Validate() const;
+};
+
 struct HostAgentConfig {
   size_t slab_pages = 256 * 256 / 4;  // 64 MB slabs (4KB pages)
   size_t replicas = 2;                // primary + 1 backup
@@ -77,6 +151,12 @@ class HostAgent : public BackingStore {
   void SetPlacer(SlabPlacer* placer);
   void SetCounters(Counters* counters) { counters_ = counters; }
   void SetOverflowStore(BackingStore* store) { overflow_store_ = store; }
+  // Gray-failure mitigation: validates and installs the config (demand
+  // reads gain deadline/retry, hedging, and gray avoidance), and attaches
+  // the health view those mechanisms consult and feed.
+  void SetResilience(const ResilienceConfig& resilience);
+  void SetHealthTracker(NodeHealthTracker* health) { health_ = health; }
+  const ResilienceConfig& resilience() const { return resilience_; }
   uint32_t host_id() const { return host_id_; }
 
   // Congestion snapshot for prefetch policies (FaultContext::congestion):
@@ -137,6 +217,28 @@ class HostAgent : public BackingStore {
   // First live node of `mapping`; sets `*failover` when it is not the
   // primary. nullptr when every replica is down.
   RemoteAgent* ServingNode(const SlabMapping& mapping, bool* failover) const;
+  // First live replica the health monitor does NOT mark gray; nullptr when
+  // every live replica is gray (the caller falls back to the gray one).
+  RemoteAgent* FirstLiveNonGray(const SlabMapping& mapping) const;
+  // Live replica after `exclude` in mapping order (retry round-robin);
+  // nullptr when `exclude` is the only live replica.
+  RemoteAgent* NextLiveReplicaAfter(const SlabMapping& mapping,
+                                    const RemoteAgent* exclude) const;
+  // Live replica != `serving` with the lowest health EWMA (hedge target).
+  RemoteAgent* NextFastestLiveReplica(const SlabMapping& mapping,
+                                      const RemoteAgent* serving) const;
+  // Post-first-attempt tail mitigation for one demand read: gray-probe
+  // duplicate, p99-delayed hedge, then deadline-paced retries. Returns the
+  // earliest completion across all attempts.
+  SimTimeNs MitigateDemandRead(const IoRequest& req, const SlabMapping& mapping,
+                               RemoteAgent* serving, RemoteAgent* primary,
+                               bool rerouted, SimTimeNs first_done,
+                               SimTimeNs now, Rng& rng);
+  void RecordHealth(uint32_t node, SimTimeNs latency, SimTimeNs now) const {
+    if (health_ != nullptr) {
+      health_->RecordRead(node, latency, now);
+    }
+  }
   void Count(CounterId id, uint64_t delta = 1) {
     if (counters_ != nullptr) {
       counters_->Add(id, delta);
@@ -154,6 +256,9 @@ class HostAgent : public BackingStore {
   SlabPlacer* placer_;                          // never null
   Counters* counters_ = nullptr;
   PageTransport* fabric_ = nullptr;  // congestion telemetry source
+  ResilienceConfig resilience_;      // disabled by default
+  NodeHealthTracker* health_ = nullptr;
+  uint64_t reroute_probe_tick_ = 0;  // paces gray-primary probe duplicates
   uint64_t capacity_exhausted_events_ = 0;
   BackingStore* overflow_store_ = nullptr;
   // Tags for overflow slabs (the overflow store holds payloads in real

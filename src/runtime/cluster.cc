@@ -37,9 +37,18 @@ Cluster::Cluster(const ClusterConfig& config)
                                        std::max<size_t>(1, config.nodes))),
       placer_(MakeSlabPlacer(config.placement)),
       host_seeder_(config.seed) {
+  // Reject nonsense resilience knobs before any host exists (no-op when
+  // resilience is disabled; SetResilience re-validates per host anyway,
+  // but failing here puts the throw at the config site).
+  config_.resilience.Validate();
   for (size_t n = 0; n < std::max<size_t>(1, config_.nodes); ++n) {
     nodes_.push_back(std::make_unique<RemoteAgent>(
         static_cast<uint32_t>(n), config_.node_capacity_slabs));
+  }
+  if (config_.resilience.enabled || config_.health_monitor_enabled) {
+    health_monitor_ =
+        std::make_unique<HealthMonitor>(config_.health, nodes_.size());
+    health_monitor_->SetCounters(&counters_);
   }
   for (size_t h = 0; h < config_.hosts; ++h) {
     AddHost();
@@ -66,6 +75,13 @@ size_t Cluster::AddHost() {
   }
 
   hosts_.push_back(std::make_unique<Machine>(host_config, env));
+  HostAgent* agent = hosts_.back()->host_agent();
+  if (health_monitor_ != nullptr) {
+    agent->SetHealthTracker(health_monitor_.get());
+  }
+  if (config_.resilience.enabled) {
+    agent->SetResilience(config_.resilience);
+  }
   alive_.push_back(true);
   host_remote_hist_.emplace_back();
   counters_.Add(counter::kHostJoins);
@@ -111,6 +127,69 @@ void Cluster::ScheduleNodeRecovery(uint32_t node, SimTimeNs at) {
     nodes_[node]->Recover();
     counters_.Add(counter::kNodeRecoveries);
   });
+}
+
+void Cluster::ScheduleCorrelatedFailure(std::vector<uint32_t> group,
+                                        SimTimeNs at) {
+  for (const uint32_t node : group) {
+    if (node >= nodes_.size()) {
+      throw std::out_of_range("leap::Cluster: unknown node");
+    }
+  }
+  events_.ScheduleAt(at, [this, group = std::move(group)](SimTimeNs when) {
+    // The whole domain drops at once BEFORE any repair runs: repair of a
+    // slab replicated entirely inside the domain must see every copy gone
+    // (sequential single-node failures would let the first repair re-copy
+    // from a node that is about to die).
+    for (const uint32_t node : group) {
+      nodes_[node]->Fail();
+      counters_.Add(counter::kNodeFailures);
+    }
+    for (const uint32_t node : group) {
+      for (size_t h = 0; h < hosts_.size(); ++h) {
+        if (alive_[h]) {
+          hosts_[h]->host_agent()->RepairSlabsAfterFailure(node, when);
+        }
+      }
+    }
+  });
+}
+
+void Cluster::ScheduleNodeGray(uint32_t node, double stretch, SimTimeNs at,
+                               SimTimeNs until) {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("leap::Cluster: unknown node");
+  }
+  if (stretch <= 0.0) {
+    throw std::invalid_argument("leap::Cluster: gray stretch must be > 0");
+  }
+  events_.ScheduleAt(at, [this, node, stretch](SimTimeNs /*when*/) {
+    fabric_->SetNodeSlowdown(node, stretch);
+    if (stretch != 1.0) {  // restoring full speed is not a fault event
+      counters_.Add(counter::kGrayFaultEvents);
+    }
+  });
+  if (until > at) {
+    events_.ScheduleAt(until, [this, node](SimTimeNs /*when*/) {
+      fabric_->SetNodeSlowdown(node, 1.0);
+    });
+  }
+}
+
+void Cluster::ScheduleNodeDelaySpike(uint32_t node, SimTimeNs extra_ns,
+                                     SimTimeNs at, SimTimeNs until) {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("leap::Cluster: unknown node");
+  }
+  events_.ScheduleAt(at, [this, node, extra_ns](SimTimeNs /*when*/) {
+    fabric_->SetNodeExtraDelayNs(node, extra_ns);
+    counters_.Add(counter::kDelaySpikeEvents);
+  });
+  if (until > at) {
+    events_.ScheduleAt(until, [this, node](SimTimeNs /*when*/) {
+      fabric_->SetNodeExtraDelayNs(node, 0);
+    });
+  }
 }
 
 void Cluster::ScheduleHostLeave(size_t host, SimTimeNs at) {
@@ -179,6 +258,15 @@ ClusterStats Cluster::Stats() const {
         fabric_->MeanQueueDelayNs(static_cast<IoClass>(c));
     stats.class_sojourn_mean_ns[c] =
         fabric_->MeanSojournNs(static_cast<IoClass>(c));
+  }
+  if (health_monitor_ != nullptr) {
+    stats.node_health_ewma_ns.reserve(nodes_.size());
+    stats.node_health_state.reserve(nodes_.size());
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      const auto id = static_cast<uint32_t>(n);
+      stats.node_health_ewma_ns.push_back(health_monitor_->NodeEwmaNs(id));
+      stats.node_health_state.push_back(health_monitor_->State(id));
+    }
   }
   return stats;
 }

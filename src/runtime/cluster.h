@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/cluster/fabric.h"
+#include "src/cluster/health_monitor.h"
 #include "src/cluster/slab_placer.h"
 #include "src/runtime/app_runner.h"
 #include "src/runtime/machine.h"
@@ -35,6 +36,17 @@ struct ClusterConfig {
   FabricConfig fabric;
   PlacementPolicy placement = PlacementPolicy::kPowerOfTwo;
   uint64_t seed = 42;
+  // Gray-failure resilience (PR 6). `resilience` configures every host's
+  // demand-read mitigation (deadline/retry, hedging, gray avoidance);
+  // disabled by default, and a disabled config leaves the cluster
+  // bit-identical to pre-PR-6 runs. The health monitor is created when
+  // either flag asks for it: detection without mitigation
+  // (health_monitor_enabled alone) is how a benchmark measures the
+  // detection window on an otherwise-unmitigated run, since feeding the
+  // monitor is pure observation and perturbs nothing.
+  ResilienceConfig resilience;
+  HealthMonitorConfig health;
+  bool health_monitor_enabled = false;
 };
 
 // One workload bound to a host in the cluster.
@@ -71,6 +83,10 @@ struct ClusterStats {
   // completion): queue delay says what the link added; this says what the
   // class's ops cost all-in.
   std::array<double, kIoClassCount> class_sojourn_mean_ns{};
+  // Health view per node (empty when no health monitor is attached):
+  // read-latency EWMA and the monitor's verdict at snapshot time.
+  std::vector<double> node_health_ewma_ns;
+  std::vector<NodeHealth> node_health_state;
 
   // Placement skew: max - min mapped slabs across nodes.
   size_t SlabImbalance() const;
@@ -105,6 +121,21 @@ class Cluster {
   void ScheduleNodeFailure(uint32_t node, SimTimeNs at);
   void ScheduleNodeRecovery(uint32_t node, SimTimeNs at);
   void ScheduleHostLeave(size_t host, SimTimeNs at);
+  // Correlated failure: every node of `group` (one rack / failure domain)
+  // fails at the same instant - all fail FIRST, then repair runs, so a
+  // slab whose whole replica set sat in the domain finds no survivor to
+  // rebuild from (the scenario replica placement must defend against).
+  void ScheduleCorrelatedFailure(std::vector<uint32_t> group, SimTimeNs at);
+  // Gray node: at `at` the node's downlink serializes `stretch`x slower;
+  // restored to full speed at `until` when until > at (0 = stays gray).
+  void ScheduleNodeGray(uint32_t node, double stretch, SimTimeNs at,
+                        SimTimeNs until = 0);
+  // Transient packet-delay spike: flat +extra_ns on every op to the node
+  // during [at, until) (until = 0 leaves it in force).
+  void ScheduleNodeDelaySpike(uint32_t node, SimTimeNs extra_ns, SimTimeNs at,
+                              SimTimeNs until = 0);
+  // Nullptr unless ClusterConfig enabled resilience or the monitor.
+  const HealthMonitor* health_monitor() const { return health_monitor_.get(); }
 
   // Runs all workloads concurrently across the cluster: accesses interleave
   // in global simulated-time order, contending for DRAM per host and for
@@ -127,6 +158,7 @@ class Cluster {
   std::vector<std::unique_ptr<Machine>> hosts_;
   std::vector<bool> alive_;
   std::vector<Histogram> host_remote_hist_;
+  std::unique_ptr<HealthMonitor> health_monitor_;  // shared by all hosts
   Counters counters_;  // cluster-level scenario events
   Rng host_seeder_;
 };

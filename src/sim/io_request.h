@@ -29,9 +29,10 @@ enum class IoClass : uint8_t {
   kWriteback,       // dirty file/cache page flushed to the backing store
   kEviction,        // swap-out of a reclaimed dirty anonymous page
   kRepair,          // re-replication traffic after a node failure
+  kHedge,           // duplicate read racing a suspect replica (tail cutting)
 };
 
-inline constexpr size_t kIoClassCount = 5;
+inline constexpr size_t kIoClassCount = 6;
 
 constexpr const char* IoClassName(IoClass cls) {
   switch (cls) {
@@ -40,14 +41,18 @@ constexpr const char* IoClassName(IoClass cls) {
     case IoClass::kWriteback: return "writeback";
     case IoClass::kEviction: return "eviction";
     case IoClass::kRepair: return "repair";
+    case IoClass::kHedge: return "hedge";
   }
   return "unknown";
 }
 
 // The two classes that make up the demand-fetch critical path: a demand
 // read stalls a process now; a prefetch is the read the next fault hopes to
-// find complete. Everything else (writeback/eviction/repair) is background
-// bandwidth whose latency no process observes directly.
+// find complete. Everything else (writeback/eviction/repair/hedge) is
+// background bandwidth whose latency no process observes directly - a
+// hedge is deliberately background so racing a suspect replica can never
+// displace first-issue demand reads on the links (the mitigation must not
+// become its own storm).
 constexpr bool IsDataClass(IoClass cls) {
   return cls == IoClass::kDemandRead || cls == IoClass::kPrefetch;
 }

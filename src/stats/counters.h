@@ -48,6 +48,15 @@ enum class CounterId : uint8_t {
   kNodeRecoveries,           // memory-node recovery events
   kHostJoins,                // hosts added to the cluster
   kHostLeaves,               // hosts removed from the cluster
+  // Gray-failure mitigation (PR 6).
+  kReadRetries,              // demand reads re-issued after a deadline miss
+  kReadDeadlineMisses,       // demand reads whose attempt blew its deadline
+  kHedgedReads,              // speculative second reads issued (tail hedge)
+  kHedgeWins,                // hedges that beat the original read
+  kReadsRerouted,            // reads steered off a gray-suspect primary
+  kGrayTransitions,          // health-monitor state changes (any direction)
+  kGrayFaultEvents,          // injected gray/slowdown fault events
+  kDelaySpikeEvents,         // injected packet-delay spike events
   kCount,
 };
 
@@ -85,6 +94,14 @@ constexpr const char* CounterName(CounterId id) {
     case CounterId::kNodeRecoveries: return "node_recoveries";
     case CounterId::kHostJoins: return "host_joins";
     case CounterId::kHostLeaves: return "host_leaves";
+    case CounterId::kReadRetries: return "remote_read_retries";
+    case CounterId::kReadDeadlineMisses: return "read_deadline_misses";
+    case CounterId::kHedgedReads: return "hedged_reads";
+    case CounterId::kHedgeWins: return "hedge_wins";
+    case CounterId::kReadsRerouted: return "reads_rerouted_gray";
+    case CounterId::kGrayTransitions: return "gray_suspect_transitions";
+    case CounterId::kGrayFaultEvents: return "gray_fault_events";
+    case CounterId::kDelaySpikeEvents: return "delay_spike_events";
     case CounterId::kCount: break;
   }
   return "unknown";
@@ -155,6 +172,15 @@ inline constexpr CounterId kNodeFailures = CounterId::kNodeFailures;
 inline constexpr CounterId kNodeRecoveries = CounterId::kNodeRecoveries;
 inline constexpr CounterId kHostJoins = CounterId::kHostJoins;
 inline constexpr CounterId kHostLeaves = CounterId::kHostLeaves;
+inline constexpr CounterId kReadRetries = CounterId::kReadRetries;
+inline constexpr CounterId kReadDeadlineMisses =
+    CounterId::kReadDeadlineMisses;
+inline constexpr CounterId kHedgedReads = CounterId::kHedgedReads;
+inline constexpr CounterId kHedgeWins = CounterId::kHedgeWins;
+inline constexpr CounterId kReadsRerouted = CounterId::kReadsRerouted;
+inline constexpr CounterId kGrayTransitions = CounterId::kGrayTransitions;
+inline constexpr CounterId kGrayFaultEvents = CounterId::kGrayFaultEvents;
+inline constexpr CounterId kDelaySpikeEvents = CounterId::kDelaySpikeEvents;
 }  // namespace counter
 
 }  // namespace leap

@@ -1,0 +1,186 @@
+// HealthMonitor tests: config validation, the healthy -> suspect -> gray
+// conviction path (including the gray dwell), hysteresis clearing, the
+// min-samples and latency-floor gates, relative scoring (a cluster-wide
+// slowdown flags nobody), and the healthy-only p99 feed for hedge delays.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/cluster/health_monitor.h"
+
+namespace leap {
+namespace {
+
+HealthMonitorConfig TestConfig() {
+  HealthMonitorConfig config;
+  config.ewma_alpha = 0.5;  // fast EWMA so tests converge in few samples
+  config.min_samples = 4;
+  config.suspect_factor = 2.0;
+  config.gray_factor = 4.0;
+  config.clear_factor = 1.5;
+  config.floor_ns = 10 * kNsPerUs;
+  config.gray_dwell_ns = 100 * kNsPerUs;
+  return config;
+}
+
+// Feeds `count` reads of fixed latency to `node`, advancing `now` by
+// `step` per sample. Returns the time after the last sample.
+SimTimeNs Feed(HealthMonitor& monitor, uint32_t node, SimTimeNs latency,
+               size_t count, SimTimeNs now, SimTimeNs step = 10 * kNsPerUs) {
+  for (size_t i = 0; i < count; ++i) {
+    now += step;
+    monitor.RecordRead(node, latency, now);
+  }
+  return now;
+}
+
+TEST(HealthMonitorConfig, ValidateRejectsOutOfRangeValues) {
+  auto expect_throws = [](auto mutate) {
+    HealthMonitorConfig config = TestConfig();
+    mutate(config);
+    EXPECT_THROW(config.Validate(), std::invalid_argument);
+  };
+  expect_throws([](HealthMonitorConfig& c) { c.ewma_alpha = 0.0; });
+  expect_throws([](HealthMonitorConfig& c) { c.ewma_alpha = 1.5; });
+  expect_throws([](HealthMonitorConfig& c) { c.min_samples = 0; });
+  expect_throws([](HealthMonitorConfig& c) { c.suspect_factor = 1.0; });
+  expect_throws([](HealthMonitorConfig& c) { c.gray_factor = 1.9; });
+  expect_throws([](HealthMonitorConfig& c) { c.clear_factor = 0.0; });
+  expect_throws([](HealthMonitorConfig& c) { c.clear_factor = 3.0; });
+  TestConfig().Validate();  // the baseline itself must be valid
+}
+
+TEST(HealthMonitor, OutlierIsConvictedViaSuspectAndDwell) {
+  HealthMonitor monitor(TestConfig(), /*node_count=*/4);
+  SimTimeNs now = 0;
+  // Healthy peer group at 20us; node 3 reads 10x slow.
+  for (uint32_t n = 0; n < 3; ++n) {
+    now = Feed(monitor, n, 20 * kNsPerUs, 8, now);
+  }
+  // First slow samples: enough to cross suspect, not yet dwelled.
+  now = Feed(monitor, 3, 200 * kNsPerUs, 6, now);
+  EXPECT_EQ(monitor.State(3), NodeHealth::kSuspect);
+  EXPECT_FALSE(monitor.IsGray(3));
+  const SimTimeNs suspected_at = monitor.LastTransitionAtNs(3);
+  // Score keeps holding >= gray_factor; after the dwell elapses the node
+  // is convicted.
+  now = Feed(monitor, 3, 200 * kNsPerUs, 20, now);
+  EXPECT_EQ(monitor.State(3), NodeHealth::kGray);
+  EXPECT_TRUE(monitor.IsGray(3));
+  const SimTimeNs gray_at = monitor.FirstGrayAtNs(3);
+  EXPECT_GE(gray_at - suspected_at, TestConfig().gray_dwell_ns);
+  // FirstGrayAtOrAfterNs: answers from the gray-entry history.
+  EXPECT_EQ(monitor.FirstGrayAtOrAfterNs(3, 0), gray_at);
+  EXPECT_EQ(monitor.FirstGrayAtOrAfterNs(3, gray_at), gray_at);
+  EXPECT_EQ(monitor.FirstGrayAtOrAfterNs(3, gray_at + 1), 0u);
+  // Healthy peers were never flagged.
+  for (uint32_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(monitor.State(n), NodeHealth::kHealthy);
+  }
+}
+
+TEST(HealthMonitor, GrayNodeClearsAfterRecoveryWithHysteresis) {
+  HealthMonitor monitor(TestConfig(), /*node_count=*/4);
+  SimTimeNs now = 0;
+  for (uint32_t n = 0; n < 3; ++n) {
+    now = Feed(monitor, n, 20 * kNsPerUs, 8, now);
+  }
+  now = Feed(monitor, 3, 200 * kNsPerUs, 26, now);
+  ASSERT_TRUE(monitor.IsGray(3));
+  // Recovery: the node serves at peer speed again; the EWMA converges
+  // under clear_factor * median and the mark clears.
+  now = Feed(monitor, 3, 20 * kNsPerUs, 30, now);
+  EXPECT_EQ(monitor.State(3), NodeHealth::kHealthy);
+  // healthy -> suspect -> gray -> healthy: exactly three transitions.
+  EXPECT_EQ(monitor.transition_count(), 3u);
+  // The gray-entry history still answers detection queries after the
+  // clear.
+  EXPECT_GT(monitor.FirstGrayAtNs(3), 0u);
+}
+
+TEST(HealthMonitor, NoJudgmentBeforeMinSamples) {
+  HealthMonitor monitor(TestConfig(), /*node_count=*/3);
+  SimTimeNs now = 0;
+  for (uint32_t n = 0; n < 2; ++n) {
+    now = Feed(monitor, n, 20 * kNsPerUs, 8, now);
+  }
+  // 3 samples of a blatant outlier: one short of min_samples.
+  now = Feed(monitor, 2, 2000 * kNsPerUs, 3, now);
+  EXPECT_EQ(monitor.State(2), NodeHealth::kHealthy);
+  // The 4th sample makes it judgeable - and instantly suspect.
+  Feed(monitor, 2, 2000 * kNsPerUs, 1, now);
+  EXPECT_EQ(monitor.State(2), NodeHealth::kSuspect);
+}
+
+TEST(HealthMonitor, ClusterWideSlowdownFlagsNobody) {
+  HealthMonitor monitor(TestConfig(), /*node_count=*/4);
+  SimTimeNs now = 0;
+  for (uint32_t n = 0; n < 4; ++n) {
+    now = Feed(monitor, n, 20 * kNsPerUs, 8, now);
+  }
+  // Incast epoch: everyone ramps 20us -> 200us together. Relative scoring
+  // keeps every score near 1 - no node is an outlier against a cohort
+  // moving with it. (Ramped rather than stepped: samples land one node at
+  // a time, and a single 10x step would make the first-sampled node a
+  // momentary "outlier" against still-stale peers.)
+  for (size_t round = 1; round <= 10; ++round) {
+    const SimTimeNs latency = (20 + 18 * round) * kNsPerUs;
+    for (uint32_t n = 0; n < 4; ++n) {
+      now = Feed(monitor, n, latency, 1, now);
+    }
+  }
+  for (uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(monitor.State(n), NodeHealth::kHealthy) << "node " << n;
+  }
+  EXPECT_EQ(monitor.transition_count(), 0u);
+}
+
+TEST(HealthMonitor, SubFloorOutliersAreNoise) {
+  HealthMonitor monitor(TestConfig(), /*node_count=*/3);
+  SimTimeNs now = 0;
+  // A 5x outlier, but at 5us - under the 10us floor. Never flagged.
+  for (uint32_t n = 0; n < 2; ++n) {
+    now = Feed(monitor, n, kNsPerUs, 8, now);
+  }
+  Feed(monitor, 2, 5 * kNsPerUs, 12, now);
+  EXPECT_EQ(monitor.State(2), NodeHealth::kHealthy);
+  EXPECT_EQ(monitor.transition_count(), 0u);
+}
+
+TEST(HealthMonitor, P99FeedIsColdThenHealthyOnly) {
+  HealthMonitor monitor(TestConfig(), /*node_count=*/3);
+  EXPECT_EQ(monitor.ReadLatencyP99Ns(), 0u);  // cold: hedging stays off
+  SimTimeNs now = 0;
+  for (uint32_t n = 0; n < 2; ++n) {
+    now = Feed(monitor, n, 20 * kNsPerUs, 8, now);
+  }
+  const SimTimeNs healthy_p99 = monitor.ReadLatencyP99Ns();
+  EXPECT_GT(healthy_p99, 0u);
+  EXPECT_LE(healthy_p99, 25 * kNsPerUs);
+  // Node 2 goes outlier-slow. Its first few samples land while it is
+  // still formally healthy (nothing to be done about those), but once
+  // marked, further samples must stop feeding the p99: the hedge delay
+  // tracks the healthy tail, not the failure it hedges against.
+  now = Feed(monitor, 2, 400 * kNsPerUs, 10, now);
+  ASSERT_NE(monitor.State(2), NodeHealth::kHealthy);
+  const SimTimeNs p99_at_mark = monitor.ReadLatencyP99Ns();
+  Feed(monitor, 2, 400 * kNsPerUs, 50, now);
+  EXPECT_EQ(monitor.ReadLatencyP99Ns(), p99_at_mark);
+}
+
+TEST(HealthMonitor, EwmaAndSampleAccessors) {
+  HealthMonitor monitor(TestConfig(), /*node_count=*/2);
+  EXPECT_DOUBLE_EQ(monitor.NodeEwmaNs(0), 0.0);
+  EXPECT_EQ(monitor.SampleCount(0), 0u);
+  monitor.RecordRead(0, 40 * kNsPerUs, kNsPerUs);
+  EXPECT_DOUBLE_EQ(monitor.NodeEwmaNs(0), 40.0 * kNsPerUs);
+  EXPECT_EQ(monitor.SampleCount(0), 1u);
+  // Out-of-range node ids are inert, not UB.
+  monitor.RecordRead(99, 40 * kNsPerUs, kNsPerUs);
+  EXPECT_FALSE(monitor.IsGray(99));
+  EXPECT_EQ(monitor.SampleCount(99), 0u);
+  EXPECT_EQ(monitor.FirstGrayAtNs(99), 0u);
+}
+
+}  // namespace
+}  // namespace leap

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 
 #include "src/rdma/host_agent.h"
 #include "src/rdma/remote_agent.h"
@@ -132,6 +133,111 @@ TEST(Resilience, MachineKeepsRunningWhenPoolNearlyFull) {
   const RunResult result = RunApp(machine, pid, stream, run);
   EXPECT_TRUE(result.finished);
   EXPECT_GT(machine.counters().Get(counter::kRemoteReads), 0u);
+}
+
+// --- gray-failure mitigation (PR 6) -----------------------------------------
+
+TEST(Resilience, ResilienceConfigValidateRejectsBadKnobs) {
+  auto expect_throws = [](auto mutate) {
+    ResilienceConfig config;
+    config.enabled = true;
+    mutate(config);
+    EXPECT_THROW(config.Validate(), std::invalid_argument);
+  };
+  expect_throws([](ResilienceConfig& c) { c.read_deadline_ns = 0; });
+  expect_throws([](ResilienceConfig& c) { c.max_read_retries = 0; });
+  expect_throws([](ResilienceConfig& c) { c.retry_backoff_ns = 0; });
+  expect_throws([](ResilienceConfig& c) { c.backoff_multiplier = 0.5; });
+  expect_throws([](ResilienceConfig& c) { c.hedge_p99_factor = 0.0; });
+  expect_throws([](ResilienceConfig& c) { c.gray_probe_interval = 0; });
+  // The same nonsense values are inert while resilience is disabled.
+  ResilienceConfig disabled;
+  disabled.read_deadline_ns = 0;
+  disabled.max_read_retries = 0;
+  disabled.Validate();
+  // And the enabled defaults must themselves be valid.
+  ResilienceConfig defaults;
+  defaults.enabled = true;
+  defaults.Validate();
+}
+
+TEST(Resilience, TinyDeadlineDrivesRetriesAndCountsThem) {
+  RemoteAgent node_a(0, 256);
+  RemoteAgent node_b(1, 256);
+  HostAgentConfig config;
+  config.replicas = 2;
+  config.slab_pages = 64;
+  HostAgent agent(config, {&node_a, &node_b}, 11);
+  ResilienceConfig res;
+  res.enabled = true;
+  res.read_deadline_ns = 1;  // every read blows this: retries must fire
+  res.max_read_retries = 2;
+  res.retry_backoff_ns = 1;
+  res.hedge_enabled = false;  // isolate the deadline/retry path
+  agent.SetResilience(res);
+  Counters counters;
+  agent.SetCounters(&counters);
+  Rng rng(11);
+  for (SwapSlot slot = 0; slot < 256; ++slot) {
+    const IoRequest req = DemandRead(slot);
+    SimTimeNs ready = 0;
+    agent.ReadPages({&req, 1}, 0, rng, {&ready, 1});
+    EXPECT_GT(ready, 0u);
+  }
+  EXPECT_GT(counters.Get(counter::kReadDeadlineMisses), 0u);
+  EXPECT_GT(counters.Get(counter::kReadRetries), 0u);
+  // Each read has at most max_read_retries re-issues.
+  EXPECT_LE(counters.Get(counter::kReadRetries), 256u * res.max_read_retries);
+}
+
+// Health tracker stub that pins one node gray forever - lets the reroute
+// path be tested without standing up a cluster and a real monitor.
+class PinnedGrayTracker : public NodeHealthTracker {
+ public:
+  explicit PinnedGrayTracker(uint32_t gray) : gray_(gray) {}
+  void RecordRead(uint32_t, SimTimeNs, SimTimeNs) override {}
+  bool IsGray(uint32_t node) const override { return node == gray_; }
+  double NodeEwmaNs(uint32_t) const override { return 0.0; }
+  SimTimeNs ReadLatencyP99Ns() const override { return 0; }
+
+ private:
+  uint32_t gray_;
+};
+
+TEST(Resilience, GrayAvoidanceReroutesAndPreservesReadYourWrites) {
+  RemoteAgent node_a(0, 256);
+  RemoteAgent node_b(1, 256);
+  HostAgentConfig config;
+  config.replicas = 2;
+  config.slab_pages = 64;
+  HostAgent agent(config, {&node_a, &node_b}, 11);
+  Rng rng(11);
+  for (SwapSlot slot = 0; slot < 256; ++slot) {
+    agent.WriteTag(slot, slot * 31 + 5, 0, rng);
+  }
+
+  ResilienceConfig res;
+  res.enabled = true;
+  res.hedge_enabled = false;
+  agent.SetResilience(res);
+  // With replicas on both nodes, pinning node 0 gray forces every read
+  // whose serving replica is node 0 onto node 1.
+  PinnedGrayTracker tracker(0);
+  agent.SetHealthTracker(&tracker);
+  Counters counters;
+  agent.SetCounters(&counters);
+
+  for (SwapSlot slot = 0; slot < 256; ++slot) {
+    const IoRequest req = DemandRead(slot);
+    SimTimeNs ready = 0;
+    agent.ReadPages({&req, 1}, 0, rng, {&ready, 1});
+  }
+  EXPECT_GT(counters.Get(counter::kReadsRerouted), 0u);
+  // Read-your-writes across the reroute: a gray node is live, so every
+  // replica absorbed the writes and the steered reads see current data.
+  for (SwapSlot slot = 0; slot < 256; ++slot) {
+    ASSERT_EQ(agent.ReadTag(slot), slot * 31 + 5) << "slot " << slot;
+  }
 }
 
 TEST(Resilience, ConcurrentProcessesShareTheFabricFairly) {
