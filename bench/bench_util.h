@@ -80,6 +80,87 @@ inline AppResult RunAppModel(const MachineConfig& config, size_t app_index,
   return out;
 }
 
+// --- BENCH_*.json schema -------------------------------------------------
+// Version of the JSON layout shared by every bench emitter. Bumped when a
+// key is renamed/removed (additions are compatible); consumers that parse
+// BENCH_*.json key off this instead of sniffing for fields.
+//   v1: pre-PR-7 (implicit, no version key)
+//   v2: schema_version + run_config preamble, --trace / --timeseries
+inline constexpr int kBenchSchemaVersion = 2;
+
+// Run-config echo: enough to reproduce the run that produced a JSON (the
+// numbers are seed-deterministic, so this IS the provenance).
+struct BenchRunInfo {
+  const char* bench = "";      // binary name
+  uint64_t seed = 0;           // cluster/machine master seed
+  size_t hosts = 0;
+  size_t nodes = 0;
+  const char* scheduler = "";  // link scheduler kind; "" = n/a
+};
+
+// Standard preamble, emitted right after the opening "mode" key.
+inline void WriteSchemaPreamble(FILE* f, const BenchRunInfo& info) {
+  std::fprintf(f, "  \"schema_version\": %d,\n", kBenchSchemaVersion);
+  std::fprintf(f, "  \"bench\": \"%s\",\n", info.bench);
+  std::fprintf(f,
+               "  \"run_config\": {\"seed\": %llu, \"hosts\": %zu, "
+               "\"nodes\": %zu, \"scheduler\": \"%s\"},\n",
+               static_cast<unsigned long long>(info.seed), info.hosts,
+               info.nodes, info.scheduler);
+}
+
+// --- command line --------------------------------------------------------
+// Shared flag vocabulary for the cluster benches:
+//   --smoke               tiny CI configuration
+//   --trace[=path]        flight-record the headline variant and export
+//                         chrome://tracing JSON (default <out>.trace.json)
+//   --timeseries[=path]   periodic stats sampling on the headline variant,
+//                         written as JSONL (default <out>.timeseries.jsonl)
+//   <positional>          output JSON path
+struct BenchArgs {
+  bool smoke = false;
+  bool trace = false;
+  bool timeseries = false;
+  std::string json_path;
+  std::string trace_path;
+  std::string timeseries_path;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv,
+                                const char* default_json) {
+  BenchArgs args;
+  args.json_path = default_json;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--trace") {
+      args.trace = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      args.trace = true;
+      args.trace_path = arg.substr(8);
+    } else if (arg == "--timeseries") {
+      args.timeseries = true;
+    } else if (arg.rfind("--timeseries=", 0) == 0) {
+      args.timeseries = true;
+      args.timeseries_path = arg.substr(13);
+    } else {
+      args.json_path = arg;
+    }
+  }
+  std::string stem = args.json_path;
+  if (stem.size() > 5 && stem.rfind(".json") == stem.size() - 5) {
+    stem.resize(stem.size() - 5);
+  }
+  if (args.trace && args.trace_path.empty()) {
+    args.trace_path = stem + ".trace.json";
+  }
+  if (args.timeseries && args.timeseries_path.empty()) {
+    args.timeseries_path = stem + ".timeseries.jsonl";
+  }
+  return args;
+}
+
 inline void PrintHeader(const std::string& experiment,
                         const std::string& paper_summary) {
   std::printf("==============================================================\n");

@@ -11,6 +11,7 @@
 //   output    trajectory JSON (default BENCH_cluster.json)
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,7 +75,7 @@ struct ScaleResult {
 };
 
 ScaleResult RunScale(const BenchGeometry& geo, size_t hosts,
-                     PlacementPolicy placement) {
+                     PlacementPolicy placement, std::ostream* dump = nullptr) {
   Cluster cluster(MakeConfig(geo, hosts, placement));
   std::vector<std::unique_ptr<AccessStream>> streams;
   std::vector<ClusterAppSpec> specs;
@@ -125,6 +126,9 @@ ScaleResult RunScale(const BenchGeometry& geo, size_t hosts,
       out.max_completion_ns == 0
           ? 0.0
           : static_cast<double>(total_accesses) / ToSec(out.max_completion_ns);
+  if (dump != nullptr) {
+    cluster.DumpStats(*dump);
+  }
   return out;
 }
 
@@ -143,6 +147,9 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  bench::WriteSchemaPreamble(
+      f, {"fig13_cluster", /*seed=*/91, geo.host_scales.back(), geo.nodes,
+          "fifo"});
   std::fprintf(f,
                "  \"geometry\": {\"nodes\": %zu, \"footprint_pages\": %zu, "
                "\"accesses_per_host\": %zu, \"slab_pages\": %zu},\n",
@@ -203,7 +210,11 @@ void Run(bool smoke, const char* json_path) {
                    "fabric qdelay mean(us)", "agg acc/sim-s",
                    "slab imbalance"});
   for (size_t hosts : geo.host_scales) {
-    scales.push_back(RunScale(geo, hosts, PlacementPolicy::kPowerOfTwo));
+    // Full per-class/per-node dump for the largest scale only (the one
+    // whose contention story the figure is about).
+    std::ostream* dump =
+        hosts == geo.host_scales.back() ? &std::cout : nullptr;
+    scales.push_back(RunScale(geo, hosts, PlacementPolicy::kPowerOfTwo, dump));
     const ScaleResult& s = scales.back();
     char p50[32], p99[32], qd[32], thr[32], imb[32], hs[32];
     std::snprintf(hs, sizeof(hs), "%zu", s.hosts);

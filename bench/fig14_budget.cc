@@ -14,11 +14,15 @@
 // windows intact - improving victim demand-read p99 and cutting the
 // wasted-prefetch ratio.
 //
-// Usage: fig14_budget [--smoke] [output.json]
-//   --smoke   smaller footprints/accesses for CI (still 8 hosts)
-//   output    results JSON (default BENCH_budget.json)
+// Usage: fig14_budget [--smoke] [--timeseries[=path]] [output.json]
+//   --smoke       smaller footprints/accesses for CI (still 8 hosts)
+//   --timeseries  sample the governed run's budgets/EWMAs/windowed p99 to
+//                 JSONL (default BENCH_budget.timeseries.jsonl)
+//   output        results JSON (default BENCH_budget.json)
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <vector>
 
@@ -72,7 +76,13 @@ struct GovernedResult {
   SimTimeNs max_completion_ns = 0;
 };
 
-GovernedResult RunOnce(const BenchGeometry& geo, bool governed) {
+// `timeseries_path` non-empty enables the StatsSampler on this run and
+// writes its JSONL there; `dump` non-null gets the human-readable stats
+// dump. Both are pure observation - the measured numbers are bit-identical
+// either way (pinned by obs_trace_test).
+GovernedResult RunOnce(const BenchGeometry& geo, bool governed,
+                       const std::string& timeseries_path = "",
+                       std::ostream* dump = nullptr) {
   ClusterConfig config;
   config.hosts = geo.hosts;
   config.nodes = geo.nodes;
@@ -84,6 +94,7 @@ GovernedResult RunOnce(const BenchGeometry& geo, bool governed) {
     config.host.budget = GovernorConfig();
   }
   config.seed = 91;
+  config.sampler.enabled = !timeseries_path.empty();
   Cluster cluster(config);
 
   std::vector<std::unique_ptr<AccessStream>> streams;
@@ -146,6 +157,15 @@ GovernedResult RunOnce(const BenchGeometry& geo, bool governed) {
   for (const RunResult& r : results) {
     out.max_completion_ns = std::max(out.max_completion_ns, r.completion_ns);
   }
+  if (!timeseries_path.empty() && cluster.sampler() != nullptr) {
+    std::ofstream ts(timeseries_path);
+    cluster.sampler()->WriteJsonl(ts);
+    std::printf("wrote %s (%zu samples)\n", timeseries_path.c_str(),
+                cluster.sampler()->samples().size());
+  }
+  if (dump != nullptr) {
+    cluster.DumpStats(*dump);
+  }
   return out;
 }
 
@@ -196,6 +216,8 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   };
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  bench::WriteSchemaPreamble(
+      f, {"fig14_budget", /*seed=*/91, geo.hosts, geo.nodes, "fifo"});
   std::fprintf(f,
                "  \"geometry\": {\"hosts\": %zu, \"nodes\": %zu, "
                "\"footprint_pages\": %zu, \"accesses_per_host\": %zu, "
@@ -222,8 +244,8 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   std::printf("wrote %s\n", path);
 }
 
-void Run(bool smoke, const char* json_path) {
-  const BenchGeometry geo = smoke ? SmokeGeometry() : FullGeometry();
+void Run(const bench::BenchArgs& args) {
+  const BenchGeometry geo = args.smoke ? SmokeGeometry() : FullGeometry();
   bench::PrintHeader(
       "Figure 14 (extension): per-tenant prefetch budgets vs an antagonist",
       "8 hosts, one zipf-0.99 storm behind next-8-line; the AIMD governor "
@@ -231,7 +253,11 @@ void Run(bool smoke, const char* json_path) {
       "victims keep their windows (section 5.3.3 throttling, cluster-wide)");
 
   const GovernedResult off = RunOnce(geo, /*governed=*/false);
-  const GovernedResult on = RunOnce(geo, /*governed=*/true);
+  // The governed run is the headline: it carries the time series (the AIMD
+  // sawtooth per tenant is the thing worth plotting) and the stats dump.
+  const GovernedResult on =
+      RunOnce(geo, /*governed=*/true,
+              args.timeseries ? args.timeseries_path : "", &std::cout);
 
   TextTable table;
   table.SetHeader({"governor", "victim p50(us)", "victim p99(us)",
@@ -246,22 +272,13 @@ void Run(bool smoke, const char* json_path) {
       ToUs(off.victim_demand_p99_ns), ToUs(on.victim_demand_p99_ns),
       off.wasted_ratio, on.wasted_ratio);
 
-  WriteJson(json_path, geo, off, on, smoke);
+  WriteJson(args.json_path.c_str(), geo, off, on, args.smoke);
 }
 
 }  // namespace
 }  // namespace leap
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  const char* json_path = "BENCH_budget.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      json_path = argv[i];
-    }
-  }
-  leap::Run(smoke, json_path);
+  leap::Run(leap::bench::ParseBenchArgs(argc, argv, "BENCH_budget.json"));
   return 0;
 }

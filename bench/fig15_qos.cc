@@ -14,11 +14,15 @@
 // (stacked source + link QoS). Victim demand-read p99 is the headline:
 // both schedulers must beat FIFO under the storm.
 //
-// Usage: fig15_qos [--smoke] [output.json]
-//   --smoke   smaller footprints/accesses for CI (still 8 hosts)
-//   output    results JSON (default BENCH_qos.json)
+// Usage: fig15_qos [--smoke] [--timeseries[=path]] [output.json]
+//   --smoke       smaller footprints/accesses for CI (still 8 hosts)
+//   --timeseries  sample the demand-priority+governed run's EWMAs/budgets/
+//                 windowed p99 to JSONL (default BENCH_qos.timeseries.jsonl)
+//   output        results JSON (default BENCH_qos.json)
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <vector>
 
@@ -68,8 +72,12 @@ struct QosResult {
   SimTimeNs max_completion_ns = 0;
 };
 
+// `timeseries_path` non-empty enables the StatsSampler on this run (pure
+// observation; measured numbers are bit-identical either way) and `dump`
+// non-null gets the human-readable cluster stats dump.
 QosResult RunOnce(const BenchGeometry& geo, LinkSchedulerKind sched,
-                  bool governed) {
+                  bool governed, const std::string& timeseries_path = "",
+                  std::ostream* dump = nullptr) {
   ClusterConfig config;
   config.hosts = geo.hosts;
   config.nodes = geo.nodes;
@@ -82,6 +90,7 @@ QosResult RunOnce(const BenchGeometry& geo, LinkSchedulerKind sched,
     config.host.budget = GovernorConfig();
   }
   config.seed = 91;
+  config.sampler.enabled = !timeseries_path.empty();
   Cluster cluster(config);
 
   std::vector<std::unique_ptr<AccessStream>> streams;
@@ -140,6 +149,15 @@ QosResult RunOnce(const BenchGeometry& geo, LinkSchedulerKind sched,
   for (const RunResult& r : results) {
     out.max_completion_ns = std::max(out.max_completion_ns, r.completion_ns);
   }
+  if (!timeseries_path.empty() && cluster.sampler() != nullptr) {
+    std::ofstream ts(timeseries_path);
+    cluster.sampler()->WriteJsonl(ts);
+    std::printf("wrote %s (%zu samples)\n", timeseries_path.c_str(),
+                cluster.sampler()->samples().size());
+  }
+  if (dump != nullptr) {
+    cluster.DumpStats(*dump);
+  }
   return out;
 }
 
@@ -186,6 +204,9 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  bench::WriteSchemaPreamble(
+      f, {"fig15_qos", /*seed=*/91, geo.hosts, geo.nodes,
+          "fifo|demand_priority|drr"});
   std::fprintf(f,
                "  \"geometry\": {\"hosts\": %zu, \"nodes\": %zu, "
                "\"footprint_pages\": %zu, \"accesses_per_host\": %zu, "
@@ -237,8 +258,8 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   std::printf("wrote %s\n", path);
 }
 
-void Run(bool smoke, const char* json_path) {
-  const BenchGeometry geo = smoke ? SmokeGeometry() : FullGeometry();
+void Run(const bench::BenchArgs& args) {
+  const BenchGeometry geo = args.smoke ? SmokeGeometry() : FullGeometry();
   bench::PrintHeader(
       "Figure 15 (extension): per-link fabric QoS vs an antagonist storm",
       "8 hosts, one zipf-0.99 storm behind next-8-line; FIFO links vs "
@@ -251,7 +272,14 @@ void Run(bool smoke, const char* json_path) {
        {LinkSchedulerKind::kFifo, LinkSchedulerKind::kDemandPriority,
         LinkSchedulerKind::kDrr}) {
     for (const bool governed : {false, true}) {
-      rows.push_back(RunOnce(geo, sched, governed));
+      // Demand-priority + governor is the headline combination (stacked
+      // source + link QoS): it carries the time series and stats dump.
+      const bool headline =
+          sched == LinkSchedulerKind::kDemandPriority && governed;
+      rows.push_back(RunOnce(
+          geo, sched, governed,
+          headline && args.timeseries ? args.timeseries_path : "",
+          headline ? &std::cout : nullptr));
     }
   }
 
@@ -269,22 +297,13 @@ void Run(bool smoke, const char* json_path) {
       ToUs(rows[0].victim_demand_p99_ns), ToUs(rows[2].victim_demand_p99_ns),
       ToUs(rows[4].victim_demand_p99_ns));
 
-  WriteJson(json_path, geo, rows, smoke);
+  WriteJson(args.json_path.c_str(), geo, rows, args.smoke);
 }
 
 }  // namespace
 }  // namespace leap
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  const char* json_path = "BENCH_qos.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      json_path = argv[i];
-    }
-  }
-  leap::Run(smoke, json_path);
+  leap::Run(leap::bench::ParseBenchArgs(argc, argv, "BENCH_qos.json"));
   return 0;
 }

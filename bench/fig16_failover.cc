@@ -24,12 +24,22 @@
 // remapped with NO surviving source, so the signature is slab repairs
 // that produce no page copies: the data is gone until rewritten).
 //
-// Usage: fig16_failover [--smoke] [output.json]
-//   --smoke   tiny configuration for CI (4 hosts, small footprints)
-//   output    JSON (default BENCH_failover.json)
+// Usage: fig16_failover [--smoke] [--trace[=path]] [--timeseries[=path]]
+//                       [output.json]
+//   --smoke       tiny configuration for CI (4 hosts, small footprints)
+//   --trace       flight-record the gray_mitigated variant and export a
+//                 chrome://tracing JSON (default BENCH_failover.trace.json):
+//                 the gray node's health track makes the detection window
+//                 visible as the gap between the gray_set instant and the
+//                 start of the monitor's "gray" span
+//   --timeseries  sample node health/EWMAs/windowed demand p99 on the
+//                 gray_mitigated run to JSONL
+//   output        JSON (default BENCH_failover.json)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -132,14 +142,33 @@ struct VariantResult {
   Counters totals;
 };
 
+// Per-variant observability: all off by default; the headline variant gets
+// whatever the command line asked for. Strictly additive - enabling any of
+// these changes no measured number (pinned by obs_trace_test).
+struct ObsOptions {
+  std::string trace_path;       // non-empty = flight-record + export
+  std::string timeseries_path;  // non-empty = sample + write JSONL
+  bool dump = false;            // human-readable stats dump to stdout
+};
+
 // tag_slots > 0 plants a durability probe: host 0 writes a content tag
 // per slot before the run, and every tag is read back after it. A tag is
 // lost only when every replica holding it died before repair could copy
 // it - the direct measure of correlated-failure data loss.
 VariantResult RunVariant(const BenchGeometry& geo, const std::string& name,
                          const FaultPlan& plan, bool mitigation, bool monitor,
-                         SimTimeNs gray_inject_ns, size_t tag_slots = 0) {
-  Cluster cluster(MakeConfig(geo, mitigation, monitor));
+                         SimTimeNs gray_inject_ns, size_t tag_slots = 0,
+                         const ObsOptions& obs = {}) {
+  ClusterConfig config = MakeConfig(geo, mitigation, monitor);
+  if (!obs.trace_path.empty()) {
+    config.trace.enabled = true;
+    // Big enough that the smoke run keeps every event from before the
+    // injection to the end (the gray_set instant must survive in the ring
+    // for the detection window to be visible in the export).
+    config.trace.capacity = size_t{1} << 18;
+  }
+  config.sampler.enabled = !obs.timeseries_path.empty();
+  Cluster cluster(config);
   FaultInjector::Arm(cluster, plan);
 
   std::vector<std::unique_ptr<AccessStream>> streams;
@@ -204,6 +233,22 @@ VariantResult RunVariant(const BenchGeometry& geo, const std::string& name,
     if (first_gray >= gray_inject_ns && first_gray > 0) {
       out.detection_delay_ns = first_gray - gray_inject_ns;
     }
+  }
+  if (!obs.trace_path.empty() && cluster.trace() != nullptr) {
+    std::ofstream tf(obs.trace_path);
+    cluster.trace()->ExportChromeTrace(tf);
+    std::printf("wrote %s (%zu events buffered, %llu dropped)\n",
+                obs.trace_path.c_str(), cluster.trace()->size(),
+                static_cast<unsigned long long>(cluster.trace()->dropped()));
+  }
+  if (!obs.timeseries_path.empty() && cluster.sampler() != nullptr) {
+    std::ofstream ts(obs.timeseries_path);
+    cluster.sampler()->WriteJsonl(ts);
+    std::printf("wrote %s (%zu samples)\n", obs.timeseries_path.c_str(),
+                cluster.sampler()->samples().size());
+  }
+  if (obs.dump) {
+    cluster.DumpStats(std::cout);
   }
   return out;
 }
@@ -275,6 +320,9 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  bench::WriteSchemaPreamble(
+      f, {"fig16_failover", /*seed=*/91, geo.hosts, geo.nodes,
+          "demand_priority"});
   std::fprintf(f,
                "  \"geometry\": {\"hosts\": %zu, \"nodes\": %zu, "
                "\"footprint_pages\": %zu, \"accesses_per_host\": %zu, "
@@ -332,7 +380,8 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   std::printf("wrote %s\n", path);
 }
 
-void Run(bool smoke, const char* json_path) {
+void Run(const bench::BenchArgs& args) {
+  const bool smoke = args.smoke;
   const BenchGeometry geo = smoke ? SmokeGeometry() : FullGeometry();
   bench::PrintHeader(
       "Figure 16 (extension): gray failure + failover tails",
@@ -358,9 +407,20 @@ void Run(bool smoke, const char* json_path) {
   const VariantResult unmitigated =
       RunVariant(geo, "gray_unmitigated", gray_plan, /*mitigation=*/false,
                  /*monitor=*/true, inject);
+  // The mitigated variant is the one worth watching: its trace shows the
+  // gray_set instant, the monitor's suspect->gray track, and the reroute/
+  // hedge/retry instants clawing the tail back.
+  ObsOptions obs;
+  if (args.trace) {
+    obs.trace_path = args.trace_path;
+  }
+  if (args.timeseries) {
+    obs.timeseries_path = args.timeseries_path;
+  }
+  obs.dump = true;
   const VariantResult mitigated =
       RunVariant(geo, "gray_mitigated", gray_plan, /*mitigation=*/true,
-                 /*monitor=*/true, inject);
+                 /*monitor=*/true, inject, /*tag_slots=*/0, obs);
 
   TextTable table;
   table.SetHeader({"variant", "p50 remote(us)", "p99 remote(us)",
@@ -422,23 +482,14 @@ void Run(bool smoke, const char* json_path) {
   }
   std::printf("\n");
 
-  WriteJson(json_path, geo, {baseline, unmitigated, mitigated}, inject,
-            improvement, correlated, smoke);
+  WriteJson(args.json_path.c_str(), geo, {baseline, unmitigated, mitigated},
+            inject, improvement, correlated, smoke);
 }
 
 }  // namespace
 }  // namespace leap
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  const char* json_path = "BENCH_failover.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      json_path = argv[i];
-    }
-  }
-  leap::Run(smoke, json_path);
+  leap::Run(leap::bench::ParseBenchArgs(argc, argv, "BENCH_failover.json"));
   return 0;
 }

@@ -110,6 +110,8 @@ void WriteJson(const std::string& path, const HotpathResult& seq,
     return;
   }
   std::fprintf(f, "{\n");
+  bench::WriteSchemaPreamble(
+      f, {"micro_hotpath", /*seed=*/42, /*hosts=*/1, /*nodes=*/2, ""});
   std::fprintf(f, "  \"workloads\": [\"sequential\", \"zipf-0.99\"],\n");
   std::fprintf(f, "  \"measured_accesses\": %zu,\n", kMeasuredAccesses);
   std::fprintf(f, "  \"baseline\": {\n");

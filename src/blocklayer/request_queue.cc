@@ -81,6 +81,27 @@ void RequestQueue::SubmitBatch(std::span<const IoRequest> reqs, SimTimeNs now,
   // The batch pays the staging stages once (that is what batching buys),
   // then device requests go out in elevator order.
   const SimTimeNs device_start = now + StageCost(rng);
+  if (trace_ != nullptr) {
+    // One span per plug batch, keyed by the demand entry (the op a
+    // process is blocked on); prefetch-only batches fall back to entry 0.
+    size_t di = 0;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].cls == IoClass::kDemandRead) {
+        di = i;
+        break;
+      }
+    }
+    TraceEvent e;
+    e.kind = TraceEventKind::kBlockAdmit;
+    e.ts = now;
+    e.dur_ns = device_start - now;
+    e.slot = reqs[di].slot;
+    e.host = trace_host_id_;
+    e.tenant = reqs[di].tenant;
+    e.cls = reqs[di].cls;
+    e.a = static_cast<uint8_t>(std::min<size_t>(reqs.size(), 255));
+    trace_->Record(e);
+  }
 
   // Issue merged runs to the device in elevator (sorted) order. Completion
   // is bio-granular: a faulting process waits for its own page's bio, but

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/blocklayer/bio.h"
+#include "src/obs/trace_recorder.h"
 #include "src/sim/io_request.h"
 #include "src/sim/latency_model.h"
 #include "src/storage/backing_store.h"
@@ -71,6 +72,15 @@ class RequestQueue {
   uint64_t requests_dispatched() const { return requests_dispatched_; }
   uint64_t bios_merged() const { return bios_merged_; }
 
+  // Flight recorder: each read batch records one kBlockAdmit span (admit
+  // -> device dispatch, the staging time Leap's path bypasses). `host_id`
+  // labels the span's track; the block layer itself sits above the NIC
+  // and never learns its uplink otherwise.
+  void SetTrace(TraceRecorder* trace, uint32_t host_id) {
+    trace_ = trace;
+    trace_host_id_ = host_id;
+  }
+
  private:
   SimTimeNs StageCost(Rng& rng);
 
@@ -81,6 +91,8 @@ class RequestQueue {
   LatencyModel dispatch_;
   uint64_t requests_dispatched_ = 0;
   uint64_t bios_merged_ = 0;
+  TraceRecorder* trace_ = nullptr;
+  uint32_t trace_host_id_ = 0;
 
   // Per-batch scratch, reused across submissions so the steady-state miss
   // path performs no heap allocation (batch sizes are bounded by the

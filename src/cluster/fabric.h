@@ -70,6 +70,44 @@ struct LinkClassCounts {
   std::array<uint64_t, kIoClassCount> bytes{};
 };
 
+class TraceRecorder;
+
+// Where page-op time goes, decomposed per IoClass - the simulator's answer
+// to the paper's fig 2 stall breakdown. Stage sums are integer ns and
+// telescope exactly: for every op stamped with enqueue_ts,
+//   software + queue + wire + stall + service == completion - enqueue_ts,
+// so a class's stage means sum to its MeanSojournNs with no residual
+// (pinned by obs_trace_test). Unstamped ops (unit tests driving the
+// fabric directly) are excluded, matching the sojourn accounting.
+struct StageBreakdown {
+  struct Stage {
+    uint64_t software_ns = 0;  // fault -> fabric submit (block layer + CPU)
+    uint64_t queue_ns = 0;     // waiting for a link wire slot
+    uint64_t wire_ns = 0;      // serialization, incl. gray-node stretch
+    uint64_t stall_ns = 0;     // incast congestion + injected delay spikes
+    uint64_t service_ns = 0;   // remote base latency draw
+    uint64_t ops = 0;          // stamped ops the sums cover
+
+    uint64_t TotalNs() const {
+      return software_ns + queue_ns + wire_ns + stall_ns + service_ns;
+    }
+    double MeanNs(uint64_t sum) const {
+      return ops == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(ops);
+    }
+  };
+  std::array<Stage, kIoClassCount> cls{};
+  // Demand-read tail decomposition (p99 of each stage across stamped
+  // demand reads; stage p99s need not sum to the total p99 - the worst
+  // queue wait and the worst service draw rarely hit the same op).
+  uint64_t demand_p99_software_ns = 0;
+  uint64_t demand_p99_queue_ns = 0;
+  uint64_t demand_p99_wire_ns = 0;
+  uint64_t demand_p99_stall_ns = 0;
+  uint64_t demand_p99_service_ns = 0;
+  uint64_t demand_p99_total_ns = 0;
+};
+
 class Fabric : public PageTransport {
  public:
   Fabric(const FabricConfig& config, size_t num_hosts, size_t num_nodes);
@@ -100,6 +138,11 @@ class Fabric : public PageTransport {
   SimTimeNs NodeExtraDelayNs(uint32_t node) const {
     return downlinks_[node % downlinks_.size()].extra_delay_ns;
   }
+
+  // Flight-recorder hook: when non-null, every page op records one
+  // kFabricOp span with its stage decomposition. Null (the default) keeps
+  // the hot path at a single pointer test.
+  void SetTrace(TraceRecorder* trace) { trace_ = trace; }
 
   size_t num_hosts() const { return uplinks_.size(); }
   size_t num_nodes() const { return downlinks_.size(); }
@@ -161,6 +204,10 @@ class Fabric : public PageTransport {
                : class_sojourn_sum_ns_[c] /
                      static_cast<double>(class_sojourn_ops_[c]);
   }
+  // Per-stage latency attribution (always maintained; integer adds plus
+  // pre-allocated histogram bumps, so keeping it on costs no allocation
+  // and changes no simulation result).
+  StageBreakdown Stages() const;
 
  private:
   // Expected in-flight completion, kept in a FIFO ring (downlinks only:
@@ -202,6 +249,20 @@ class Fabric : public PageTransport {
   std::array<double, kIoClassCount> class_sojourn_sum_ns_{};
   std::array<uint64_t, kIoClassCount> class_sojourn_ops_{};
   uint64_t wire_bytes_total_ = 0;
+  // Stage attribution over stamped ops (same coverage as the sojourn
+  // sums, so the telescoping identity holds exactly).
+  struct StageSums {
+    uint64_t software_ns = 0;
+    uint64_t queue_ns = 0;
+    uint64_t wire_ns = 0;
+    uint64_t stall_ns = 0;
+    uint64_t service_ns = 0;
+  };
+  std::array<StageSums, kIoClassCount> stage_sums_{};
+  // Demand-read per-stage distributions for the tail report
+  // (software/queue/wire/stall/service + end-to-end total).
+  std::array<Histogram, 6> demand_stage_hists_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace leap

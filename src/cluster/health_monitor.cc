@@ -181,6 +181,15 @@ void HealthMonitor::Transition(NodeState& ns, NodeHealth next, SimTimeNs now) {
   if (ns.state == next) {
     return;
   }
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kHealthTransition;
+    e.ts = now;
+    e.node = static_cast<uint32_t>(&ns - nodes_.data());
+    e.a = static_cast<uint8_t>(ns.state);
+    e.b = static_cast<uint8_t>(next);
+    trace_->Record(e);
+  }
   ns.state = next;
   ns.last_transition_at = now;
   if (next == NodeHealth::kGray) {

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/trace_recorder.h"
 #include "src/rdma/host_agent.h"
 #include "src/sim/types.h"
 #include "src/stats/counters.h"
@@ -95,6 +96,9 @@ class HealthMonitor : public NodeHealthTracker {
   HealthMonitor(const HealthMonitorConfig& config, size_t node_count);
 
   void SetCounters(Counters* counters) { counters_ = counters; }
+  // Flight recorder: every state change records a kHealthTransition
+  // instant (a = from state, b = to state). Null disables.
+  void SetTrace(TraceRecorder* trace) { trace_ = trace; }
 
   // NodeHealthTracker --------------------------------------------------------
   void RecordRead(uint32_t node, SimTimeNs latency_ns, SimTimeNs now) override;
@@ -142,6 +146,7 @@ class HealthMonitor : public NodeHealthTracker {
   // p99 hedge delay (suspect/gray samples excluded - see RecordRead).
   Histogram read_latency_;
   Counters* counters_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
   uint64_t transitions_ = 0;
 };
 

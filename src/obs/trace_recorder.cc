@@ -1,0 +1,244 @@
+#include "src/obs/trace_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+
+namespace leap {
+namespace {
+
+// Local copy of the NodeHealth naming: src/obs sits below src/cluster in
+// the layering (the fabric and monitor hold TraceRecorder pointers), so
+// the exporter cannot include health_monitor.h. The numeric states are
+// pinned by the kHealthTransition contract (a/b = 0 healthy, 1 suspect,
+// 2 gray).
+constexpr const char* kHealthStateNames[] = {"healthy", "suspect", "gray"};
+
+const char* HealthStateName(uint8_t s) {
+  return s < 3 ? kHealthStateNames[s] : "unknown";
+}
+
+// Track mapping: hosts and nodes become chrome://tracing "processes".
+// Host pids start at 1 (pid 0 renders oddly), node pids at 1000 - a donor
+// pool never has anywhere near 999 hosts in one trace.
+uint64_t HostPid(uint32_t host) { return 1 + host; }
+uint64_t NodePid(uint32_t node) { return 1000 + node; }
+
+bool IsHostTrackKind(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kBlockAdmit:
+    case TraceEventKind::kPrefetchIssued:
+    case TraceEventKind::kPrefetchHit:
+    case TraceEventKind::kPrefetchDropped:
+    case TraceEventKind::kReadReroute:
+    case TraceEventKind::kHedgeIssued:
+    case TraceEventKind::kHedgeWin:
+    case TraceEventKind::kDeadlineMiss:
+    case TraceEventKind::kReadRetry:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// printf-style into the stream with the inter-record separator handled.
+class RecordWriter {
+ public:
+  explicit RecordWriter(std::ostream& out) : out_(out) {}
+
+  void Emit(const char* fmt, ...) {
+    char buf[768];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (!first_) {
+      out_ << ",\n";
+    }
+    first_ = false;
+    out_ << "    " << buf;
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+double ToTraceUs(SimTimeNs ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(const TraceConfig& config)
+    : enabled_(config.enabled) {
+  if (enabled_ && config.capacity > 0) {
+    ring_.resize(config.capacity);
+  }
+}
+
+uint64_t TraceRecorder::CountKind(TraceEventKind kind) const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    if (At(i).kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void TraceRecorder::ExportChromeTrace(std::ostream& out) const {
+  out << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+  RecordWriter w(out);
+
+  // Pass 1: discover the tracks and the trace horizon.
+  std::set<uint32_t> hosts;
+  std::set<uint32_t> nodes;
+  SimTimeNs end_ts = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    const TraceEvent& e = At(i);
+    end_ts = std::max(end_ts, e.ts + e.dur_ns);
+    if (IsHostTrackKind(e.kind)) {
+      hosts.insert(e.host);
+    }
+    if (e.kind == TraceEventKind::kFabricOp) {
+      hosts.insert(e.host);
+      nodes.insert(e.node);
+    }
+    if (!IsHostTrackKind(e.kind) && e.kind != TraceEventKind::kFabricOp) {
+      nodes.insert(e.node);
+    }
+  }
+  for (uint32_t h : hosts) {
+    w.Emit("{\"ph\": \"M\", \"pid\": %" PRIu64
+           ", \"name\": \"process_name\", \"args\": {\"name\": \"host %u\"}}",
+           HostPid(h), h);
+    w.Emit("{\"ph\": \"M\", \"pid\": %" PRIu64
+           ", \"name\": \"process_sort_index\", \"args\": {\"sort_index\": "
+           "%u}}",
+           HostPid(h), h);
+  }
+  for (uint32_t n : nodes) {
+    w.Emit("{\"ph\": \"M\", \"pid\": %" PRIu64
+           ", \"name\": \"process_name\", \"args\": {\"name\": \"node %u\"}}",
+           NodePid(n), n);
+    w.Emit("{\"ph\": \"M\", \"pid\": %" PRIu64
+           ", \"name\": \"process_sort_index\", \"args\": {\"sort_index\": "
+           "%u}}",
+           NodePid(n), 1000 + n);
+  }
+
+  // Pass 2: the events themselves. Async ("b"/"e") spans tolerate overlap
+  // on one track, which fabric ops on a busy node always have; the id
+  // ties begin to end.
+  uint64_t next_id = 1;
+  for (size_t i = 0; i < count_; ++i) {
+    const TraceEvent& e = At(i);
+    const double ts_us = ToTraceUs(e.ts);
+    switch (e.kind) {
+      case TraceEventKind::kFabricOp: {
+        const uint64_t id = next_id++;
+        w.Emit("{\"ph\": \"b\", \"cat\": \"fabric\", \"name\": \"%s\", "
+               "\"id\": \"0x%" PRIx64 "\", \"pid\": %" PRIu64
+               ", \"tid\": 0, \"ts\": %.3f, \"args\": {\"host\": %u, "
+               "\"tenant\": %u, \"slot\": %" PRIu64
+               ", \"software_ns\": %u, \"queue_ns\": %u, \"wire_ns\": %u, "
+               "\"stall_ns\": %u, \"service_ns\": %u}}",
+               IoClassName(e.cls), id, NodePid(e.node), ts_us, e.host,
+               e.tenant, e.slot, e.stage_software_ns, e.stage_queue_ns,
+               e.stage_wire_ns, e.stage_stall_ns, e.stage_service_ns);
+        w.Emit("{\"ph\": \"e\", \"cat\": \"fabric\", \"name\": \"%s\", "
+               "\"id\": \"0x%" PRIx64 "\", \"pid\": %" PRIu64
+               ", \"tid\": 0, \"ts\": %.3f}",
+               IoClassName(e.cls), id, NodePid(e.node),
+               ToTraceUs(e.ts + e.dur_ns));
+        break;
+      }
+      case TraceEventKind::kBlockAdmit: {
+        const uint64_t id = next_id++;
+        w.Emit("{\"ph\": \"b\", \"cat\": \"blocklayer\", \"name\": "
+               "\"block_admit\", \"id\": \"0x%" PRIx64 "\", \"pid\": %" PRIu64
+               ", \"tid\": %u, \"ts\": %.3f, \"args\": {\"slot\": %" PRIu64
+               ", \"batch_pages\": %u}}",
+               id, HostPid(e.host), e.tenant, ts_us, e.slot, e.a);
+        w.Emit("{\"ph\": \"e\", \"cat\": \"blocklayer\", \"name\": "
+               "\"block_admit\", \"id\": \"0x%" PRIx64 "\", \"pid\": %" PRIu64
+               ", \"tid\": %u, \"ts\": %.3f}",
+               id, HostPid(e.host), e.tenant, ToTraceUs(e.ts + e.dur_ns));
+        break;
+      }
+      case TraceEventKind::kHealthTransition:
+        w.Emit("{\"ph\": \"i\", \"cat\": \"health\", \"name\": \"%s->%s\", "
+               "\"pid\": %" PRIu64
+               ", \"tid\": 0, \"ts\": %.3f, \"s\": \"p\"}",
+               HealthStateName(e.a), HealthStateName(e.b), NodePid(e.node),
+               ts_us);
+        break;
+      case TraceEventKind::kNodeFail:
+      case TraceEventKind::kNodeRecover:
+      case TraceEventKind::kGraySet:
+      case TraceEventKind::kGrayClear:
+      case TraceEventKind::kDelaySpike:
+        w.Emit("{\"ph\": \"i\", \"cat\": \"fault\", \"name\": \"%s\", "
+               "\"pid\": %" PRIu64
+               ", \"tid\": 0, \"ts\": %.3f, \"s\": \"p\", \"args\": "
+               "{\"payload\": %" PRIu64 "}}",
+               TraceEventKindName(e.kind), NodePid(e.node), ts_us, e.slot);
+        break;
+      default:
+        // Host-track instants: prefetch lifecycle + mitigation decisions.
+        // Tenants map to threads so per-tenant activity reads as lanes.
+        w.Emit("{\"ph\": \"i\", \"cat\": \"%s\", \"name\": \"%s\", "
+               "\"pid\": %" PRIu64
+               ", \"tid\": %u, \"ts\": %.3f, \"s\": \"t\", \"args\": "
+               "{\"node\": %u, \"slot\": %" PRIu64 ", \"dur_ns\": %" PRIu64
+               "}}",
+               IsHostTrackKind(e.kind) &&
+                       e.kind != TraceEventKind::kPrefetchIssued &&
+                       e.kind != TraceEventKind::kPrefetchHit &&
+                       e.kind != TraceEventKind::kPrefetchDropped
+                   ? "mitigation"
+                   : "prefetch",
+               TraceEventKindName(e.kind), HostPid(e.host), e.tenant, ts_us,
+               e.node, e.slot, e.dur_ns);
+        break;
+    }
+  }
+
+  // Pass 3: synthesize per-node health-STATE spans from the transition
+  // instants, so "this node sat gray from t1 to t2" is a visible band and
+  // the gap between fault injection (kGraySet instant) and the gray span's
+  // left edge IS the detection window.
+  for (uint32_t n : nodes) {
+    uint8_t state = 0;  // kHealthy
+    SimTimeNs since = 0;
+    auto close_span = [&](SimTimeNs at) {
+      if (state == 0) {
+        return;
+      }
+      const uint64_t id = next_id++;
+      w.Emit("{\"ph\": \"b\", \"cat\": \"health\", \"name\": \"%s\", "
+             "\"id\": \"0x%" PRIx64 "\", \"pid\": %" PRIu64
+             ", \"tid\": 0, \"ts\": %.3f}",
+             HealthStateName(state), id, NodePid(n), ToTraceUs(since));
+      w.Emit("{\"ph\": \"e\", \"cat\": \"health\", \"name\": \"%s\", "
+             "\"id\": \"0x%" PRIx64 "\", \"pid\": %" PRIu64
+             ", \"tid\": 0, \"ts\": %.3f}",
+             HealthStateName(state), id, NodePid(n), ToTraceUs(at));
+    };
+    for (size_t i = 0; i < count_; ++i) {
+      const TraceEvent& e = At(i);
+      if (e.kind != TraceEventKind::kHealthTransition || e.node != n) {
+        continue;
+      }
+      close_span(e.ts);
+      state = e.b;
+      since = e.ts;
+    }
+    close_span(end_ts);
+  }
+
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace leap

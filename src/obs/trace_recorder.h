@@ -1,0 +1,173 @@
+// Flight recorder: a fixed-capacity ring buffer of POD trace events fed by
+// the data path, the fabric, the mitigation layer, and the health monitor.
+//
+// Gating contract (see src/obs/README.md): a layer holds a
+// `TraceRecorder* trace_` that is nullptr unless tracing was enabled at
+// construction time, so the disabled cost is ONE pointer test per
+// instrumented site - no RNG draws, no timestamps, no allocation - and a
+// run with `trace.enabled=false` is bit-identical to a build without this
+// file. When enabled, `Record` is a branch, a 64-byte copy, and index
+// arithmetic into storage pre-allocated at construction; the hot path
+// never allocates. When the ring is full the oldest event is overwritten
+// and `dropped()` counts what was lost (a flight recorder keeps the most
+// recent history, which is the part that explains the anomaly you stopped
+// on).
+//
+// `ExportChromeTrace` serializes the ring in the Chrome trace-event JSON
+// format (also readable by Perfetto): load the file in chrome://tracing or
+// ui.perfetto.dev. Hosts and memory nodes become processes, tenants become
+// threads on their host's track, fabric page ops become async spans on the
+// serving node with the per-stage latency decomposition attached as args,
+// and health-monitor state is synthesized into suspect/gray spans so a
+// gray-failure detection window is visible as a colored band.
+#ifndef LEAP_SRC_OBS_TRACE_RECORDER_H_
+#define LEAP_SRC_OBS_TRACE_RECORDER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+#include "src/sim/io_request.h"
+#include "src/sim/types.h"
+
+namespace leap {
+
+// Everything the simulator knows how to put on a timeline. Span kinds carry
+// a nonzero dur_ns; the rest are instants.
+enum class TraceEventKind : uint8_t {
+  kFabricOp = 0,       // span: fabric submit -> completion (stage args)
+  kBlockAdmit,         // span: block-layer batch admit -> dispatch ready
+  kPrefetchIssued,     // instant, host track
+  kPrefetchHit,        // instant, host track (dur_ns = timeliness)
+  kPrefetchDropped,    // instant, host track
+  kReadReroute,        // instant: demand read steered off a gray primary
+  kHedgeIssued,        // instant: speculative duplicate read launched
+  kHedgeWin,           // instant: the hedge beat the primary
+  kDeadlineMiss,       // instant: read attempt blew its deadline
+  kReadRetry,          // instant: read re-issued after a deadline miss
+  kHealthTransition,   // instant, node track (a = from state, b = to state)
+  kNodeFail,           // instant: injected node crash
+  kNodeRecover,        // instant: injected node recovery
+  kGraySet,            // instant: injected slowdown applied (payload = x1000)
+  kGrayClear,          // instant: injected slowdown restored
+  kDelaySpike,         // instant: injected per-op delay spike (payload = ns)
+  kCount,
+};
+
+inline constexpr size_t kTraceEventKindCount =
+    static_cast<size_t>(TraceEventKind::kCount);
+
+constexpr const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kFabricOp: return "fabric_op";
+    case TraceEventKind::kBlockAdmit: return "block_admit";
+    case TraceEventKind::kPrefetchIssued: return "prefetch_issued";
+    case TraceEventKind::kPrefetchHit: return "prefetch_hit";
+    case TraceEventKind::kPrefetchDropped: return "prefetch_dropped";
+    case TraceEventKind::kReadReroute: return "read_reroute";
+    case TraceEventKind::kHedgeIssued: return "hedge_issued";
+    case TraceEventKind::kHedgeWin: return "hedge_win";
+    case TraceEventKind::kDeadlineMiss: return "deadline_miss";
+    case TraceEventKind::kReadRetry: return "read_retry";
+    case TraceEventKind::kHealthTransition: return "health_transition";
+    case TraceEventKind::kNodeFail: return "node_fail";
+    case TraceEventKind::kNodeRecover: return "node_recover";
+    case TraceEventKind::kGraySet: return "gray_set";
+    case TraceEventKind::kGrayClear: return "gray_clear";
+    case TraceEventKind::kDelaySpike: return "delay_spike";
+    case TraceEventKind::kCount: break;
+  }
+  return "unknown";
+}
+
+// One ring entry. POD by design: recording is a struct copy, and the ring
+// is a flat pre-sized vector, so the recorder never touches the allocator
+// after construction. Fields are overloaded per kind (documented next to
+// the kind above); unused fields stay zero.
+struct TraceEvent {
+  SimTimeNs ts = 0;          // event (or span start) time, sim ns
+  uint64_t slot = 0;         // swap slot, or kind-specific payload
+  uint64_t dur_ns = 0;       // span length; 0 for instants
+  uint32_t host = 0;         // issuing host / fabric uplink
+  uint32_t node = 0;         // serving or affected memory node
+  Pid tenant = 0;            // issuing process (0 = kernel work)
+  TraceEventKind kind = TraceEventKind::kFabricOp;
+  IoClass cls = IoClass::kDemandRead;
+  uint8_t a = 0;             // kind-specific (health: from-state)
+  uint8_t b = 0;             // kind-specific (health: to-state)
+  // Per-stage latency decomposition for kFabricOp, in ns. The five stages
+  // sum exactly to dur_ns for ops stamped with enqueue_ts (the telescoping
+  // identity Fabric::SubmitPageOp maintains; see src/cluster/fabric.cc).
+  uint32_t stage_software_ns = 0;  // fault -> fabric submit (block layer)
+  uint32_t stage_queue_ns = 0;     // link-scheduler wait for the wire
+  uint32_t stage_wire_ns = 0;      // serialization incl. gray stretch
+  uint32_t stage_stall_ns = 0;     // congestion backlog + delay spikes
+  uint32_t stage_service_ns = 0;   // remote node service draw
+};
+
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent must stay POD: Record() is a memcpy-class copy");
+
+struct TraceConfig {
+  bool enabled = false;
+  // Ring capacity in events (64 B each). 64Ki events ~ 4 MiB covers the
+  // whole fabric history of a smoke bench and the tail of a full one.
+  size_t capacity = size_t{1} << 16;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const TraceConfig& config);
+
+  bool enabled() const { return enabled_; }
+
+  // Appends one event; overwrites the oldest when full. Never allocates.
+  void Record(const TraceEvent& event) {
+    if (!enabled_ || ring_.empty()) {
+      return;
+    }
+    ring_[head_] = event;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (count_ < ring_.size()) {
+      ++count_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  // Events currently held (<= capacity).
+  size_t size() const { return count_; }
+  size_t capacity() const { return ring_.size(); }
+  // Events overwritten because the ring wrapped.
+  uint64_t dropped() const { return dropped_; }
+  // Total ever recorded (= size() + dropped()).
+  uint64_t recorded() const { return dropped_ + count_; }
+
+  // i-th retained event, oldest first (0 <= i < size()).
+  const TraceEvent& At(size_t i) const {
+    const size_t start = count_ < ring_.size() ? 0 : head_;
+    size_t pos = start + i;
+    if (pos >= ring_.size()) {
+      pos -= ring_.size();
+    }
+    return ring_[pos];
+  }
+
+  uint64_t CountKind(TraceEventKind kind) const;
+
+  // Serializes the ring as Chrome trace-event JSON (chrome://tracing,
+  // Perfetto). Cold path; allocates freely.
+  void ExportChromeTrace(std::ostream& out) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;    // next write position
+  size_t count_ = 0;   // live entries
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_OBS_TRACE_RECORDER_H_

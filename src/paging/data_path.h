@@ -50,6 +50,15 @@ class DataPath {
   virtual SimTimeNs CacheHitCost(Rng& rng) = 0;
 
   virtual std::string name() const = 0;
+
+  // Flight-recorder wiring (no-op by default). The default path forwards
+  // it to its block-layer queue so batch staging shows up as spans; the
+  // Leap path has no staging stage worth a span (that IS the point) and
+  // keeps the no-op.
+  virtual void SetTrace(TraceRecorder* trace, uint32_t host_id) {
+    (void)trace;
+    (void)host_id;
+  }
 };
 
 // Index of the (single) demand-tagged entry of a fault batch, or
@@ -76,6 +85,9 @@ class DefaultDataPath : public DataPath {
   SimTimeNs WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) override;
   SimTimeNs CacheHitCost(Rng& rng) override;
   std::string name() const override { return "default"; }
+  void SetTrace(TraceRecorder* trace, uint32_t host_id) override {
+    queue_.SetTrace(trace, host_id);
+  }
 
   const RequestQueue& request_queue() const { return queue_; }
 

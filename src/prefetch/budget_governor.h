@@ -33,6 +33,8 @@
 #define LEAP_SRC_PREFETCH_BUDGET_GOVERNOR_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/container/flat_map.h"
 #include "src/prefetch/prefetcher.h"
@@ -95,6 +97,16 @@ class BudgetGovernor {
   uint64_t epoch_dropped(Pid pid) const;
   // Footprint-share ceiling currently applied to `pid`.
   size_t CapFor(Pid pid) const;
+  // Read-only enumeration of every known tenant's fractional budget, for
+  // time-series samplers. Appends (pid, budget) pairs in the FlatMap's
+  // deterministic array order. Unlike BudgetFor this NEVER advances the
+  // AIMD epoch - sampling must not perturb governor decisions.
+  void SnapshotBudgets(
+      std::vector<std::pair<Pid, double>>& out) const {
+    for (const auto& [pid, tenant] : tenants_) {
+      out.emplace_back(pid, tenant.budget);
+    }
+  }
   bool congested() const { return congested_; }
   uint64_t shrink_events() const { return shrink_events_; }
   uint64_t grow_events() const { return grow_events_; }

@@ -217,6 +217,7 @@ void HostAgent::ReadPages(std::span<const IoRequest> reqs, SimTimeNs now,
         node = alt;
         rerouted = true;
         Count(counter::kReadsRerouted);
+        Trace(TraceEventKind::kReadReroute, reqs[i], now, alt->node_id());
       }
     }
     if (failover) {
@@ -288,12 +289,15 @@ SimTimeNs HostAgent::MitigateDemandRead(const IoRequest& req,
           const SimTimeNs hedge_done = nic_.SubmitPageOpTo(
               alt->node_id(), QueueFor(req.slot + 2), hedge, issue, rng);
           alt->CountRead();
+          Trace(TraceEventKind::kHedgeIssued, hedge, issue, alt->node_id());
           // Deliberately NOT fed to the health monitor: a hedge rides the
           // background lane, so its completion measures QoS queueing, not
           // node health - recording it would convict healthy nodes of the
           // scheduler's own backlog and cascade reroutes onto nowhere.
           if (hedge_done < best) {
             Count(counter::kHedgeWins);
+            Trace(TraceEventKind::kHedgeWin, hedge, hedge_done,
+                  alt->node_id(), best - hedge_done);
             best = hedge_done;
           }
         }
@@ -313,6 +317,9 @@ SimTimeNs HostAgent::MitigateDemandRead(const IoRequest& req,
                            best > issue + resilience_.read_deadline_ns;
        ++attempt) {
     Count(counter::kReadDeadlineMisses);
+    Trace(TraceEventKind::kDeadlineMiss, req,
+          issue + resilience_.read_deadline_ns,
+          last != nullptr ? last->node_id() : 0);
     RemoteAgent* alt = NextLiveReplicaAfter(mapping, last);
     if (alt == nullptr) {
       break;  // nowhere else to go; the in-flight attempt is the answer
@@ -323,6 +330,7 @@ SimTimeNs HostAgent::MitigateDemandRead(const IoRequest& req,
     Count(counter::kReadRetries);
     const SimTimeNs retry_done = nic_.SubmitPageOpTo(
         alt->node_id(), QueueFor(req.slot + 3 + attempt), req, issue, rng);
+    Trace(TraceEventKind::kReadRetry, req, issue, alt->node_id());
     alt->CountRead();
     RecordHealth(alt->node_id(), retry_done - issue, issue);
     best = std::min(best, retry_done);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/container/flat_map.h"
+#include "src/obs/trace_recorder.h"
 #include "src/rdma/rdma_nic.h"
 #include "src/rdma/remote_agent.h"
 #include "src/sim/rng.h"
@@ -156,6 +157,9 @@ class HostAgent : public BackingStore {
   // the health view those mechanisms consult and feed.
   void SetResilience(const ResilienceConfig& resilience);
   void SetHealthTracker(NodeHealthTracker* health) { health_ = health; }
+  // Flight recorder for mitigation decisions (reroute / hedge / deadline
+  // miss / retry); null keeps the path untouched.
+  void SetTrace(TraceRecorder* trace) { trace_ = trace; }
   const ResilienceConfig& resilience() const { return resilience_; }
   uint32_t host_id() const { return host_id_; }
 
@@ -244,6 +248,24 @@ class HostAgent : public BackingStore {
       counters_->Add(id, delta);
     }
   }
+  // One mitigation instant onto the flight recorder; `node` is the node
+  // the decision targeted, `dur_ns` kind-specific (0 for most).
+  void Trace(TraceEventKind kind, const IoRequest& req, SimTimeNs ts,
+             uint32_t node, uint64_t dur_ns = 0) const {
+    if (trace_ == nullptr) {
+      return;
+    }
+    TraceEvent e;
+    e.kind = kind;
+    e.ts = ts;
+    e.dur_ns = dur_ns;
+    e.slot = req.slot;
+    e.host = host_id_;
+    e.node = node;
+    e.tenant = req.tenant;
+    e.cls = req.cls;
+    trace_->Record(e);
+  }
 
   HostAgentConfig config_;
   std::vector<RemoteAgent*> nodes_;
@@ -258,6 +280,7 @@ class HostAgent : public BackingStore {
   PageTransport* fabric_ = nullptr;  // congestion telemetry source
   ResilienceConfig resilience_;      // disabled by default
   NodeHealthTracker* health_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
   uint64_t reroute_probe_tick_ = 0;  // paces gray-primary probe duplicates
   uint64_t capacity_exhausted_events_ = 0;
   BackingStore* overflow_store_ = nullptr;

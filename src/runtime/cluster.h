@@ -12,12 +12,15 @@
 #define LEAP_SRC_RUNTIME_CLUSTER_H_
 
 #include <array>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
 #include "src/cluster/fabric.h"
 #include "src/cluster/health_monitor.h"
 #include "src/cluster/slab_placer.h"
+#include "src/obs/stats_sampler.h"
+#include "src/obs/trace_recorder.h"
 #include "src/runtime/app_runner.h"
 #include "src/runtime/machine.h"
 #include "src/sim/event_queue.h"
@@ -47,6 +50,12 @@ struct ClusterConfig {
   ResilienceConfig resilience;
   HealthMonitorConfig health;
   bool health_monitor_enabled = false;
+  // Observability (PR 7). Both default off, and off means OFF: no recorder
+  // is allocated, every layer's trace pointer stays null (one predicted
+  // branch per would-be event), the sampler schedules nothing, and runs
+  // are bit-identical to a build without this subsystem.
+  TraceConfig trace;
+  StatsSamplerConfig sampler;
 };
 
 // One workload bound to a host in the cluster.
@@ -87,6 +96,9 @@ struct ClusterStats {
   // read-latency EWMA and the monitor's verdict at snapshot time.
   std::vector<double> node_health_ewma_ns;
   std::vector<NodeHealth> node_health_state;
+  // Per-stage latency attribution (fabric's telescoped decomposition of
+  // every stamped op's sojourn): where demand-read time actually went.
+  StageBreakdown stages;
 
   // Placement skew: max - min mapped slabs across nodes.
   size_t SlabImbalance() const;
@@ -136,6 +148,11 @@ class Cluster {
                               SimTimeNs until = 0);
   // Nullptr unless ClusterConfig enabled resilience or the monitor.
   const HealthMonitor* health_monitor() const { return health_monitor_.get(); }
+  // Nullptr unless ClusterConfig::trace.enabled / sampler.enabled.
+  TraceRecorder* trace() { return trace_.get(); }
+  const TraceRecorder* trace() const { return trace_.get(); }
+  StatsSampler* sampler() { return sampler_.get(); }
+  const StatsSampler* sampler() const { return sampler_.get(); }
 
   // Runs all workloads concurrently across the cluster: accesses interleave
   // in global simulated-time order, contending for DRAM per host and for
@@ -149,7 +166,18 @@ class Cluster {
 
   ClusterStats Stats() const;
 
+  // One-call human-readable dump of Stats(): counter totals, per-node
+  // service/health tables, per-link per-class traffic, and the demand
+  // stage breakdown. The benches print this instead of five hand-rolled
+  // loops each.
+  void DumpStats(std::ostream& out) const;
+
  private:
+  // Sampler collector: snapshots governor budgets, fabric EWMAs, health
+  // states, per-host memory occupancy, and the windowed demand histogram
+  // (reset per tick). Strictly read-only against simulation state.
+  void CollectSample(SimTimeNs now, StatsSample& sample);
+
   ClusterConfig config_;
   EventQueue events_;
   std::unique_ptr<Fabric> fabric_;
@@ -159,6 +187,10 @@ class Cluster {
   std::vector<bool> alive_;
   std::vector<Histogram> host_remote_hist_;
   std::unique_ptr<HealthMonitor> health_monitor_;  // shared by all hosts
+  std::unique_ptr<TraceRecorder> trace_;   // null = tracing off
+  std::unique_ptr<StatsSampler> sampler_;  // null = sampling off
+  // Demand-miss latency within the current sampler window (reset on tick).
+  Histogram demand_window_hist_;
   Counters counters_;  // cluster-level scenario events
   Rng host_seeder_;
 };

@@ -43,6 +43,7 @@ Machine::Machine(const MachineConfig& config, const MachineEnv& env)
       events_(env.shared_events != nullptr ? env.shared_events
                                            : &owned_events_),
       host_id_(env.host_id),
+      trace_(env.trace),
       frames_(config.total_frames) {
   if (config_.medium == Medium::kRemote) {
     std::vector<RemoteAgent*> nodes = env.remote_pool;
@@ -63,6 +64,7 @@ Machine::Machine(const MachineConfig& config, const MachineEnv& env)
       host_agent_->SetPlacer(env.placer);
     }
     host_agent_->SetCounters(&counters_);
+    host_agent_->SetTrace(trace_);
     // Donor-pool exhaustion degrades to the (slower) local SSD instead of
     // silently piling onto a full node; every overflow slab is counted.
     overflow_store_ = std::make_unique<Ssd>(config_.ssd);
@@ -82,6 +84,7 @@ Machine::Machine(const MachineConfig& config, const MachineEnv& env)
   } else {
     data_path_ = std::make_unique<LeapDataPath>(config_.leap_path, store_);
   }
+  data_path_->SetTrace(trace_, host_id_);
   policy_ = MakePolicy(config_);
   if (config_.budget.enabled) {
     governor_ = std::make_unique<BudgetGovernor>(config_.budget, &swap_);
@@ -118,6 +121,17 @@ void Machine::NotifyPrefetchIssued(Pid pid, SwapSlot slot, SimTimeNs ready_at,
                                    SimTimeNs now) {
   counters_.Add(counter::kPrefetchIssued);
   ++unconsumed_prefetched_;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kPrefetchIssued;
+    e.ts = now;
+    e.dur_ns = ready_at > now ? ready_at - now : 0;
+    e.slot = slot;
+    e.host = host_id_;
+    e.tenant = pid;
+    e.cls = IoClass::kPrefetch;
+    trace_->Record(e);
+  }
   policy_->OnPrefetchIssued(pid, slot, now);
   policy_->OnPrefetchComplete(pid, slot,
                               ready_at > now ? ready_at - now : 0);
@@ -132,6 +146,17 @@ void Machine::NotifyPrefetchHit(Pid pid, SwapSlot slot,
   const SimTimeNs timeliness =
       now > entry.added_at ? now - entry.added_at : 0;
   timeliness_hist_.Record(timeliness);
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kPrefetchHit;
+    e.ts = now;
+    e.dur_ns = timeliness;
+    e.slot = slot;
+    e.host = host_id_;
+    e.tenant = entry.pid;
+    e.cls = IoClass::kPrefetch;
+    trace_->Record(e);
+  }
   if (unconsumed_prefetched_ > 0) {
     --unconsumed_prefetched_;
   }
@@ -153,6 +178,19 @@ void Machine::NotifyPrefetchDropped(SwapSlot slot, const CacheEntry& entry) {
   }
   if (unconsumed_prefetched_ > 0) {
     --unconsumed_prefetched_;
+  }
+  if (trace_ != nullptr) {
+    // The drop funnel carries no clock; the event is timestamped at the
+    // prefetch's insertion (its lifetime start), which is when the wasted
+    // bandwidth was spent anyway.
+    TraceEvent e;
+    e.kind = TraceEventKind::kPrefetchDropped;
+    e.ts = entry.added_at;
+    e.slot = slot;
+    e.host = host_id_;
+    e.tenant = entry.pid;
+    e.cls = IoClass::kPrefetch;
+    trace_->Record(e);
   }
   policy_->OnPrefetchDropped(entry.pid, slot);
   if (governor_ != nullptr) {

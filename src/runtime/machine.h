@@ -117,6 +117,10 @@ struct MachineEnv {
   SlabPlacer* placer = nullptr;
   // This machine's uplink id on the fabric.
   uint32_t host_id = 0;
+  // Cluster-owned flight recorder (non-owning; null = tracing off). The
+  // machine forwards it to its host agent and data path and records the
+  // prefetch issue/hit/drop lifecycle itself.
+  TraceRecorder* trace = nullptr;
 };
 
 enum class AccessType {
@@ -272,6 +276,7 @@ class Machine {
   EventQueue* events_;
   SimTimeNs last_event_drain_ = 0;
   uint32_t host_id_ = 0;
+  TraceRecorder* trace_ = nullptr;  // null unless the cluster enabled it
 
   FramePool frames_;
   PageCache cache_;

@@ -135,6 +135,16 @@ class Counters {
     return out;
   }
 
+  // Element-wise accumulation of another snapshot. Commutative and
+  // associative (plain uint64 adds), which is the contract the future
+  // sharded engine's merge-on-barrier stats rely on - pinned by
+  // stats_merge_test.
+  void Merge(const Counters& other) {
+    for (size_t i = 0; i < kCounterCount; ++i) {
+      values_[i] += other.values_[i];
+    }
+  }
+
   void Reset() { values_.fill(0); }
 
  private:
