@@ -96,6 +96,7 @@ struct BenchRunInfo {
   size_t hosts = 0;
   size_t nodes = 0;
   const char* scheduler = "";  // link scheduler kind; "" = n/a
+  const char* placer = "";     // slab-placer kind; "" = n/a (single host)
 };
 
 // Standard preamble, emitted right after the opening "mode" key.
@@ -104,9 +105,9 @@ inline void WriteSchemaPreamble(FILE* f, const BenchRunInfo& info) {
   std::fprintf(f, "  \"bench\": \"%s\",\n", info.bench);
   std::fprintf(f,
                "  \"run_config\": {\"seed\": %llu, \"hosts\": %zu, "
-               "\"nodes\": %zu, \"scheduler\": \"%s\"},\n",
+               "\"nodes\": %zu, \"scheduler\": \"%s\", \"placer\": \"%s\"},\n",
                static_cast<unsigned long long>(info.seed), info.hosts,
-               info.nodes, info.scheduler);
+               info.nodes, info.scheduler, info.placer);
 }
 
 // --- command line --------------------------------------------------------

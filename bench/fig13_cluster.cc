@@ -149,7 +149,7 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
   bench::WriteSchemaPreamble(
       f, {"fig13_cluster", /*seed=*/91, geo.host_scales.back(), geo.nodes,
-          "fifo"});
+          "fifo", PlacementPolicyName(PlacementPolicy::kPowerOfTwo)});
   std::fprintf(f,
                "  \"geometry\": {\"nodes\": %zu, \"footprint_pages\": %zu, "
                "\"accesses_per_host\": %zu, \"slab_pages\": %zu},\n",

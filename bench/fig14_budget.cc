@@ -217,7 +217,8 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
   bench::WriteSchemaPreamble(
-      f, {"fig14_budget", /*seed=*/91, geo.hosts, geo.nodes, "fifo"});
+      f, {"fig14_budget", /*seed=*/91, geo.hosts, geo.nodes, "fifo",
+          PlacementPolicyName(PlacementPolicy::kPowerOfTwo)});
   std::fprintf(f,
                "  \"geometry\": {\"hosts\": %zu, \"nodes\": %zu, "
                "\"footprint_pages\": %zu, \"accesses_per_host\": %zu, "

@@ -206,7 +206,8 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
   bench::WriteSchemaPreamble(
       f, {"fig15_qos", /*seed=*/91, geo.hosts, geo.nodes,
-          "fifo|demand_priority|drr"});
+          "fifo|demand_priority|drr",
+          PlacementPolicyName(PlacementPolicy::kPowerOfTwo)});
   std::fprintf(f,
                "  \"geometry\": {\"hosts\": %zu, \"nodes\": %zu, "
                "\"footprint_pages\": %zu, \"accesses_per_host\": %zu, "

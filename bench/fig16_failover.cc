@@ -322,7 +322,8 @@ void WriteJson(const char* path, const BenchGeometry& geo,
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
   bench::WriteSchemaPreamble(
       f, {"fig16_failover", /*seed=*/91, geo.hosts, geo.nodes,
-          "demand_priority"});
+          "demand_priority",
+          PlacementPolicyName(PlacementPolicy::kPowerOfTwo)});
   std::fprintf(f,
                "  \"geometry\": {\"hosts\": %zu, \"nodes\": %zu, "
                "\"footprint_pages\": %zu, \"accesses_per_host\": %zu, "

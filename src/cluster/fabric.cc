@@ -93,19 +93,48 @@ SimTimeNs Fabric::SubmitPageOp(const IoRequest& req, uint32_t node,
   const bool capped_repair = req.cls == IoClass::kRepair &&
                              config_.sched.repair_bandwidth_fraction < 1.0 &&
                              config_.sched.repair_bandwidth_fraction > 0.0;
+  // Tier-migration traffic rides the identical pacing mechanism with its
+  // own horizon, so the migrator can never take more than
+  // `migration_bandwidth_fraction` of any link.
+  const bool capped_migration =
+      req.cls == IoClass::kMigration &&
+      config_.sched.migration_bandwidth_fraction < 1.0 &&
+      config_.sched.migration_bandwidth_fraction > 0.0;
   SimTimeNs sched_now = now;
   if (capped_repair) {
     sched_now = std::max(now, std::max(up.sched.repair_allowed_at,
                                        down.sched.repair_allowed_at));
   }
+  if (capped_migration) {
+    sched_now = std::max(now, std::max(up.sched.migration_allowed_at,
+                                       down.sched.migration_allowed_at));
+  }
 
   // The scheduler picks the op's wire slot on the sender's uplink and the
   // receiver's downlink; a hot node's downlink is where contending hosts
   // queue behind each other (incast).
+  //
+  // A *paced* migration bypasses the scheduler's horizon queueing: a
+  // token-bucket-limited class is injected at its paced instant and its
+  // packets interleave with the foreground at line rate - it does not
+  // reserve a future wire slot. Routing it through the scheduler would,
+  // under load, grant it a slot at the pacing horizon (far past the
+  // all-class frontier) and ratchet busy_until across wire that is in
+  // fact idle - every later background op (evictions included, which
+  // reclaim and therefore demand faults wait on) would then stall behind
+  // nothing. Instead the op charges exactly one serialization slot of
+  // capacity at each link's live frontier, which is its true wire share.
   const SimTimeNs up_busy_before = up.sched.busy_until;
   const SimTimeNs up_demand_before = up.sched.demand_until;
-  const SimTimeNs wire_start =
-      scheduler_->ScheduleOp(up.sched, down.sched, req, sched_now, slot_ns);
+  SimTimeNs wire_start;
+  if (capped_migration) {
+    wire_start = sched_now;
+    up.sched.busy_until = std::max(up.sched.busy_until, now) + slot_ns;
+    down.sched.busy_until = std::max(down.sched.busy_until, now) + slot_ns;
+  } else {
+    wire_start =
+        scheduler_->ScheduleOp(up.sched, down.sched, req, sched_now, slot_ns);
+  }
 
   // A gray downlink must not hold the initiating uplink hostage: the
   // schedulers advance the uplink horizon to the granted slot's end, and
@@ -150,6 +179,13 @@ SimTimeNs Fabric::SubmitPageOp(const IoRequest& req, uint32_t node,
     up.sched.repair_allowed_at = wire_start + pace;
     down.sched.repair_allowed_at = wire_start + pace;
   }
+  if (capped_migration) {
+    const auto pace = static_cast<SimTimeNs>(
+        static_cast<double>(slot_ns) /
+        config_.sched.migration_bandwidth_fraction);
+    up.sched.migration_allowed_at = wire_start + pace;
+    down.sched.migration_allowed_at = wire_start + pace;
+  }
 
   // Bytes already racing toward this node stretch the latency further:
   // switch buffers drain at link rate, so each in-flight KB past the free
@@ -180,10 +216,23 @@ SimTimeNs Fabric::SubmitPageOp(const IoRequest& req, uint32_t node,
   // itself. Only the downlink keeps a ring: incast at the receiver is the
   // congestion signal, while the sender side is fully described by the
   // uplink horizons.
-  const SimTimeNs done_est =
-      std::max(wire_end + config_.base_mean_ns, down.last_done_est);
-  down.last_done_est = done_est;
-  Push(down, done_est, wire_bytes);
+  // Paced migrations stay out of the ring: admission control upstream
+  // (migration_allowed_at) holds the class to a fraction of line rate, so
+  // it cannot build standing switch backlog - its wire share is already
+  // charged through busy_until. Pushing it here would charge demand for
+  // bytes still sitting in the migrator's host-side queue (the entry is
+  // pushed at schedule time, and under load a background op's granted
+  // slot is far in the future), and the monotonic clamp would then
+  // stretch every later demand entry to that background horizon - pure
+  // accounting artifact, not buffer occupancy. An UNcapped migration
+  // class (fraction 1.0) can saturate, so it goes through the ledger like
+  // any other class.
+  if (!capped_migration) {
+    const SimTimeNs done_est =
+        std::max(wire_end + config_.base_mean_ns, down.last_done_est);
+    down.last_done_est = done_est;
+    Push(down, done_est, wire_bytes);
+  }
 
   const auto cls = static_cast<size_t>(req.cls);
   ++ops_;

@@ -75,6 +75,10 @@ struct LinkSchedulerConfig {
   // Fraction of each link's bandwidth repair traffic may consume
   // (1.0 = uncapped; enforced by Fabric for every scheduler kind).
   double repair_bandwidth_fraction = 1.0;
+  // Same cap for tier-migration traffic (IoClass::kMigration): the
+  // migrator's background copies are paced so they can never take more
+  // than this fraction of any link.
+  double migration_bandwidth_fraction = 1.0;
 };
 
 // Scheduling state of one link. One struct serves all scheduler kinds
@@ -90,6 +94,8 @@ struct LinkSchedState {
   // Earliest time the next repair op may take a slot (repair cap pacing;
   // maintained by Fabric, honored before the scheduler runs).
   SimTimeNs repair_allowed_at = 0;
+  // Same pacing horizon for tier-migration ops (migration cap).
+  SimTimeNs migration_allowed_at = 0;
   // Per-flow pacing horizons (DrrScheduler), keyed by
   // (host << 32) | tenant. A flow is backlogged while horizon > now.
   FlatMap<uint64_t, SimTimeNs> flow_horizon;

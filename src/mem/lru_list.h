@@ -24,11 +24,16 @@ namespace leap {
 template <typename Key, typename Hash = std::hash<Key>>
 class LruList {
  public:
-  // Inserts or refreshes `key` as most-recently-used.
+  // Inserts or refreshes `key` as most-recently-used. Each Touch bumps the
+  // entry's access count (saturating), the hotness signal the tier
+  // migrator's promotion scan reads via AccessCount/DecayCounts.
   void Touch(const Key& key) {
     auto [slot, inserted] = index_.Emplace(key);
     if (!inserted) {
       const uint32_t node = *slot;
+      if (nodes_[node].count < kCountMax) {
+        ++nodes_[node].count;
+      }
       Unlink(node);
       LinkFront(node);
       return;
@@ -83,6 +88,18 @@ class LruList {
     return key;
   }
 
+  // The n hottest keys, hottest first (the tier migrator's promotion
+  // scan walks the recency end and filters by AccessCount).
+  std::vector<Key> HottestN(size_t n) const {
+    std::vector<Key> out;
+    out.reserve(n < size_ ? n : size_);
+    for (uint32_t idx = head_; idx != kNil && out.size() < n;
+         idx = nodes_[idx].next) {
+      out.push_back(nodes_[idx].key);
+    }
+    return out;
+  }
+
   // The n coldest keys, coldest first (for batch reclaim scans).
   std::vector<Key> ColdestN(size_t n) const {
     std::vector<Key> out;
@@ -97,6 +114,23 @@ class LruList {
   bool Contains(const Key& key) const { return index_.Contains(key); }
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  // Accesses recorded for `key` since insertion (Insert/first Touch = 1;
+  // each later Touch adds 1, saturating at kCountMax). 0 when absent.
+  uint32_t AccessCount(const Key& key) const {
+    const uint32_t* node = index_.Find(key);
+    return node == nullptr ? 0 : nodes_[*node].count;
+  }
+
+  // Halves every entry's access count (floor division) - the migrator's
+  // periodic aging step, the same exponential decay HeMem-style kswapd
+  // loops apply so stale heat drains instead of accumulating forever.
+  // List order is untouched.
+  void DecayCounts() {
+    for (uint32_t idx = head_; idx != kNil; idx = nodes_[idx].next) {
+      nodes_[idx].count >>= 1;
+    }
+  }
 
   // Drops all entries; the node slab is recycled, not deallocated.
   void Clear() {
@@ -113,11 +147,13 @@ class LruList {
 
  private:
   static constexpr uint32_t kNil = static_cast<uint32_t>(-1);
+  static constexpr uint32_t kCountMax = 0xFFFF;
 
   struct Node {
     Key key{};
     uint32_t prev = kNil;
     uint32_t next = kNil;
+    uint32_t count = 0;  // saturating access count (hot/cold signal)
   };
 
   uint32_t NewNode(const Key& key) {
@@ -130,6 +166,7 @@ class LruList {
       free_.pop_back();
     }
     nodes_[idx].key = key;
+    nodes_[idx].count = 1;  // recycled slots must not inherit stale heat
     return idx;
   }
 
@@ -137,6 +174,7 @@ class LruList {
   // Unlink's business.
   void FreeNode(uint32_t idx) {
     nodes_[idx].key = Key{};
+    nodes_[idx].count = 0;
     free_.push_back(idx);
   }
 

@@ -56,7 +56,19 @@ void StatsSampler::WriteJsonl(std::ostream& out) const {
     for (size_t i = 0; i < s.host_cache_pages.size(); ++i) {
       out << (i ? ", " : "") << s.host_cache_pages[i];
     }
-    out << "], \"tenant_budgets\": [";
+    out << "]";
+    if (!s.tier_pages.empty()) {
+      out << ", \"tier_pages\": [";
+      for (size_t i = 0; i < s.tier_pages.size(); ++i) {
+        out << (i ? ", " : "") << s.tier_pages[i];
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "], \"tier_promotions\": %" PRIu64
+                    ", \"tier_demotions\": %" PRIu64,
+                    s.tier_promotions, s.tier_demotions);
+      out << buf;
+    }
+    out << ", \"tenant_budgets\": [";
     for (size_t i = 0; i < s.tenant_budgets.size(); ++i) {
       const StatsSample::TenantBudget& t = s.tenant_budgets[i];
       std::snprintf(buf, sizeof(buf),

@@ -56,6 +56,14 @@ struct StatsSample {
   std::vector<size_t> host_free_frames;
   std::vector<size_t> host_cache_pages;
 
+  // Tiered-memory occupancy (pages per tier, summed over hosts) and
+  // cumulative migration volume. Empty/zero - and omitted from the JSONL -
+  // unless the run has tiering enabled, so untiered time series are
+  // byte-identical to pre-tiering builds.
+  std::vector<size_t> tier_pages;
+  uint64_t tier_promotions = 0;
+  uint64_t tier_demotions = 0;
+
   // Per-tenant AIMD prefetch budgets.
   struct TenantBudget {
     uint32_t host = 0;

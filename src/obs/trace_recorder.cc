@@ -20,6 +20,15 @@ const char* HealthStateName(uint8_t s) {
   return s < 3 ? kHealthStateNames[s] : "unknown";
 }
 
+// Local copy of the tier naming, for the same layering reason: the numeric
+// tiers are pinned by the kTierPromote/kTierDemote contract (a/b = 0 cxl,
+// 1 remote, 2 ssd; see src/tier/tier_config.h).
+constexpr const char* kTierNames[] = {"cxl", "remote", "ssd"};
+
+const char* TierTrackName(uint8_t t) {
+  return t < 3 ? kTierNames[t] : "unknown";
+}
+
 // Track mapping: hosts and nodes become chrome://tracing "processes".
 // Host pids start at 1 (pid 0 renders oddly), node pids at 1000 - a donor
 // pool never has anywhere near 999 hosts in one trace.
@@ -37,6 +46,8 @@ bool IsHostTrackKind(TraceEventKind k) {
     case TraceEventKind::kHedgeWin:
     case TraceEventKind::kDeadlineMiss:
     case TraceEventKind::kReadRetry:
+    case TraceEventKind::kTierPromote:
+    case TraceEventKind::kTierDemote:
       return true;
     default:
       return false;
@@ -173,6 +184,15 @@ void TraceRecorder::ExportChromeTrace(std::ostream& out) const {
                ", \"tid\": 0, \"ts\": %.3f, \"s\": \"p\"}",
                HealthStateName(e.a), HealthStateName(e.b), NodePid(e.node),
                ts_us);
+        break;
+      case TraceEventKind::kTierPromote:
+      case TraceEventKind::kTierDemote:
+        w.Emit("{\"ph\": \"i\", \"cat\": \"tier\", \"name\": \"%s\", "
+               "\"pid\": %" PRIu64
+               ", \"tid\": 0, \"ts\": %.3f, \"s\": \"t\", \"args\": "
+               "{\"slot\": %" PRIu64 ", \"from\": \"%s\", \"to\": \"%s\"}}",
+               TraceEventKindName(e.kind), HostPid(e.host), ts_us, e.slot,
+               TierTrackName(e.a), TierTrackName(e.b));
         break;
       case TraceEventKind::kNodeFail:
       case TraceEventKind::kNodeRecover:

@@ -52,6 +52,8 @@ enum class TraceEventKind : uint8_t {
   kGraySet,            // instant: injected slowdown applied (payload = x1000)
   kGrayClear,          // instant: injected slowdown restored
   kDelaySpike,         // instant: injected per-op delay spike (payload = ns)
+  kTierPromote,        // instant, host track (a = from tier, b = to tier)
+  kTierDemote,         // instant, host track (a = from tier, b = to tier)
   kCount,
 };
 
@@ -76,6 +78,8 @@ constexpr const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kGraySet: return "gray_set";
     case TraceEventKind::kGrayClear: return "gray_clear";
     case TraceEventKind::kDelaySpike: return "delay_spike";
+    case TraceEventKind::kTierPromote: return "tier_promote";
+    case TraceEventKind::kTierDemote: return "tier_demote";
     case TraceEventKind::kCount: break;
   }
   return "unknown";

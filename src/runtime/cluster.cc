@@ -335,6 +335,18 @@ ClusterStats Cluster::Stats() const {
     }
   }
   stats.stages = fabric_->Stages();
+  for (const auto& host : hosts_) {
+    const TieredStore* tiered = host->tiered_store();
+    if (tiered == nullptr) {
+      continue;
+    }
+    if (stats.tier_pages.empty()) {
+      stats.tier_pages.resize(kTierCount, 0);
+    }
+    for (size_t t = 0; t < kTierCount; ++t) {
+      stats.tier_pages[t] += tiered->TierPages(t);
+    }
+  }
   return stats;
 }
 
@@ -364,6 +376,20 @@ void Cluster::CollectSample(SimTimeNs now, StatsSample& sample) {
   for (size_t h = 0; h < hosts_.size(); ++h) {
     sample.host_free_frames.push_back(hosts_[h]->free_frames());
     sample.host_cache_pages.push_back(hosts_[h]->cache_size());
+    // Tier occupancy + cumulative migration volume (observation-only; the
+    // fields stay empty/zero - and unserialized - on untiered runs).
+    if (const TieredStore* tiered = hosts_[h]->tiered_store()) {
+      if (sample.tier_pages.empty()) {
+        sample.tier_pages.resize(kTierCount, 0);
+      }
+      for (size_t t = 0; t < kTierCount; ++t) {
+        sample.tier_pages[t] += tiered->TierPages(t);
+      }
+      sample.tier_promotions +=
+          hosts_[h]->counters().Get(counter::kTierPromotions);
+      sample.tier_demotions +=
+          hosts_[h]->counters().Get(counter::kTierDemotions);
+    }
     const BudgetGovernor* governor = hosts_[h]->governor();
     if (governor != nullptr) {
       budgets.clear();
@@ -458,6 +484,16 @@ void Cluster::DumpStats(std::ostream& out) const {
                     FmtU64(stats.stages.demand_p99_service_ns),
                     FmtU64(stats.stages.demand_p99_total_ns)});
   out << p99_table.Render();
+
+  if (!stats.tier_pages.empty()) {
+    out << "\n-- tier occupancy (pages, all hosts) --\n";
+    TextTable tier_table;
+    tier_table.SetHeader({"tier", "pages"});
+    for (size_t t = 0; t < stats.tier_pages.size(); ++t) {
+      tier_table.AddRow({TierName(t), FmtU64(stats.tier_pages[t])});
+    }
+    out << tier_table.Render();
+  }
   if (trace_ != nullptr) {
     out << "\ntrace: " << trace_->size() << " events buffered, "
         << trace_->dropped() << " dropped\n";

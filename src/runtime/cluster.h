@@ -100,6 +100,12 @@ struct ClusterStats {
   // every stamped op's sojourn): where demand-read time actually went.
   StageBreakdown stages;
 
+  // Tiered far memory: resident pages per tier (index with kTierCxl /
+  // kTierRemote / kTierSsd), summed over hosts. Empty unless at least one
+  // host runs a TieredStore; migration volumes live in `totals`
+  // (tier_promotions / tier_demotions / tier_spills).
+  std::vector<size_t> tier_pages;
+
   // Placement skew: max - min mapped slabs across nodes.
   size_t SlabImbalance() const;
 

@@ -70,6 +70,17 @@ Machine::Machine(const MachineConfig& config, const MachineEnv& env)
     overflow_store_ = std::make_unique<Ssd>(config_.ssd);
     host_agent_->SetOverflowStore(overflow_store_.get());
     store_ = host_agent_.get();
+    if (config_.tier.enabled) {
+      // Tiered hierarchy: the data path now talks to the TieredStore,
+      // which routes each page to cxl / the fabric path / local flash by
+      // residency. Everything below (HostAgent mitigation, fabric QoS,
+      // slab repair) is unchanged - it is simply one tier now.
+      tiered_store_ = std::make_unique<TieredStore>(
+          config_.tier, host_agent_.get(), overflow_store_.get());
+      tiered_store_->SetCounters(&counters_);
+      tiered_store_->SetTrace(trace_, host_id_);
+      store_ = tiered_store_.get();
+    }
   } else if (config_.medium == Medium::kHdd) {
     local_store_ = std::make_unique<Hdd>(config_.hdd);
     store_ = local_store_.get();
@@ -91,6 +102,11 @@ Machine::Machine(const MachineConfig& config, const MachineEnv& env)
   }
   kswapd_scratch_.reserve(config_.kswapd_scan_batch);
   ScheduleKswapd(config_.kswapd_period_ns);
+  if (tiered_store_ != nullptr && config_.tier.migrator_enabled) {
+    tier_migrator_ = std::make_unique<TierMigrator>(
+        config_.tier, events_, tiered_store_.get(), rng_.NextU64());
+    tier_migrator_->Start(config_.tier.migrate_period_ns);
+  }
 }
 
 FaultContext Machine::MakeFaultContext(Pid pid, SwapSlot slot,

@@ -31,6 +31,9 @@
 #include "src/stats/histogram.h"
 #include "src/storage/hdd.h"
 #include "src/storage/ssd.h"
+#include "src/tier/tier_config.h"
+#include "src/tier/tier_migrator.h"
+#include "src/tier/tiered_store.h"
 
 namespace leap {
 
@@ -90,6 +93,12 @@ struct MachineConfig {
   HostAgentConfig host_agent;
   size_t remote_nodes = 2;
   size_t node_capacity_slabs = 4096;
+
+  // Tiered far memory (src/tier/): CXL-like fast tier + background
+  // hot/cold migrator layered over the remote path. Only honored when
+  // medium == kRemote; disabled (default) means no tier state exists and
+  // the machine is bit-identical to a pre-tiering build.
+  TierConfig tier;
 
   // Data-path cost presets (see runtime/presets.h for the calibrated ones).
   DefaultPathConfig default_path;
@@ -164,6 +173,10 @@ class Machine {
   BudgetGovernor* governor() { return governor_.get(); }
   const BudgetGovernor* governor() const { return governor_.get(); }
   HostAgent* host_agent() { return host_agent_.get(); }
+  // Tier-aware store (nullptr unless config().tier.enabled on a remote
+  // medium); the cluster reads per-tier occupancy through this.
+  TieredStore* tiered_store() { return tiered_store_.get(); }
+  const TieredStore* tiered_store() const { return tiered_store_.get(); }
   size_t cache_size() const { return cache_.size(); }
   size_t stale_entries() const { return stale_count_; }
   size_t free_frames() const { return frames_.free_count(); }
@@ -289,6 +302,10 @@ class Machine {
   std::unique_ptr<BackingStore> local_store_;  // hdd/ssd when not remote
   // Degradation target when the donor pool is out of slabs (remote runs).
   std::unique_ptr<BackingStore> overflow_store_;
+  // Tiered hierarchy over {cxl, host_agent_, overflow ssd}; null unless
+  // config_.tier.enabled (the null pointer IS the off switch).
+  std::unique_ptr<TieredStore> tiered_store_;
+  std::unique_ptr<TierMigrator> tier_migrator_;
   BackingStore* store_ = nullptr;
   std::unique_ptr<DataPath> data_path_;
   std::unique_ptr<PrefetchPolicy> policy_;

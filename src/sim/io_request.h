@@ -30,10 +30,14 @@ enum class IoClass : uint8_t {
   kEviction,        // swap-out of a reclaimed dirty anonymous page
   kRepair,          // re-replication traffic after a node failure
   kHedge,           // duplicate read racing a suspect replica (tail cutting)
+  kMigration,       // background tier promotion/demotion copy (src/tier/)
 };
 
-inline constexpr size_t kIoClassCount = 6;
+inline constexpr size_t kIoClassCount = 7;
 
+// The one IoClass -> string mapping. Every reporting surface (trace
+// export, DumpStats tables, bench JSON writers) must go through this so a
+// new class shows up everywhere at once.
 constexpr const char* IoClassName(IoClass cls) {
   switch (cls) {
     case IoClass::kDemandRead: return "demand_read";
@@ -42,6 +46,7 @@ constexpr const char* IoClassName(IoClass cls) {
     case IoClass::kEviction: return "eviction";
     case IoClass::kRepair: return "repair";
     case IoClass::kHedge: return "hedge";
+    case IoClass::kMigration: return "migration";
   }
   return "unknown";
 }
@@ -99,6 +104,10 @@ constexpr IoRequest EvictionWrite(SwapSlot slot, Pid tenant = 0,
 
 constexpr IoRequest RepairCopy(SwapSlot slot, SimTimeNs enqueue_ts = 0) {
   return IoRequest{slot, 0, 0, IoClass::kRepair, kPageSize, enqueue_ts};
+}
+
+constexpr IoRequest MigrationCopy(SwapSlot slot, SimTimeNs enqueue_ts = 0) {
+  return IoRequest{slot, 0, 0, IoClass::kMigration, kPageSize, enqueue_ts};
 }
 
 }  // namespace leap

@@ -57,6 +57,12 @@ enum class CounterId : uint8_t {
   kGrayTransitions,          // health-monitor state changes (any direction)
   kGrayFaultEvents,          // injected gray/slowdown fault events
   kDelaySpikeEvents,         // injected packet-delay spike events
+  // Tiered far memory (src/tier/).
+  kTierPromotions,           // pages migrated up a tier (hot)
+  kTierDemotions,            // pages migrated down a tier (cold)
+  kTierSpills,               // writes placed below the preferred tier (full)
+  kTierFastHits,             // demand reads served by the fastest tier
+  kTierSlowHits,             // demand reads served by any lower tier
   kCount,
 };
 
@@ -102,6 +108,11 @@ constexpr const char* CounterName(CounterId id) {
     case CounterId::kGrayTransitions: return "gray_suspect_transitions";
     case CounterId::kGrayFaultEvents: return "gray_fault_events";
     case CounterId::kDelaySpikeEvents: return "delay_spike_events";
+    case CounterId::kTierPromotions: return "tier_promotions";
+    case CounterId::kTierDemotions: return "tier_demotions";
+    case CounterId::kTierSpills: return "tier_spills";
+    case CounterId::kTierFastHits: return "tier_fast_demand_reads";
+    case CounterId::kTierSlowHits: return "tier_slow_demand_reads";
     case CounterId::kCount: break;
   }
   return "unknown";
@@ -191,6 +202,11 @@ inline constexpr CounterId kReadsRerouted = CounterId::kReadsRerouted;
 inline constexpr CounterId kGrayTransitions = CounterId::kGrayTransitions;
 inline constexpr CounterId kGrayFaultEvents = CounterId::kGrayFaultEvents;
 inline constexpr CounterId kDelaySpikeEvents = CounterId::kDelaySpikeEvents;
+inline constexpr CounterId kTierPromotions = CounterId::kTierPromotions;
+inline constexpr CounterId kTierDemotions = CounterId::kTierDemotions;
+inline constexpr CounterId kTierSpills = CounterId::kTierSpills;
+inline constexpr CounterId kTierFastHits = CounterId::kTierFastHits;
+inline constexpr CounterId kTierSlowHits = CounterId::kTierSlowHits;
 }  // namespace counter
 
 }  // namespace leap

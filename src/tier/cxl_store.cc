@@ -1,0 +1,34 @@
+#include "src/tier/cxl_store.h"
+
+#include <algorithm>
+
+namespace leap {
+
+CxlStore::CxlStore(const CxlStoreConfig& config)
+    : config_(config),
+      read_(LatencyModel::Normal(config.read_mean_ns, config.read_stddev_ns,
+                                 config.read_min_ns)),
+      write_(LatencyModel::Normal(config.write_mean_ns, config.write_stddev_ns,
+                                  config.write_min_ns)),
+      busy_until_(std::max<size_t>(1, config.channels), 0) {}
+
+void CxlStore::ReadPages(std::span<const IoRequest> reqs, SimTimeNs now,
+                         Rng& rng, std::span<SimTimeNs> ready_at) {
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    auto& busy = busy_until_[ChannelFor(reqs[i].slot)];
+    const SimTimeNs start = std::max(now, busy);
+    const SimTimeNs done = start + read_.Sample(rng);
+    busy = done;
+    ready_at[i] = done;
+  }
+}
+
+SimTimeNs CxlStore::WritePage(const IoRequest& req, SimTimeNs now, Rng& rng) {
+  auto& busy = busy_until_[ChannelFor(req.slot)];
+  const SimTimeNs start = std::max(now, busy);
+  const SimTimeNs done = start + write_.Sample(rng);
+  busy = done;
+  return done;
+}
+
+}  // namespace leap

@@ -102,6 +102,41 @@ class ZipfStream : public AccessStream {
   SimTimeNs think_ns_;
 };
 
+// Zipf-skewed touches with the hot ranks scattered across the address
+// space (YCSB's "scrambled zipfian"). ZipfSampler maps rank r directly to
+// vpn r, so ZipfStream's hottest pages are the lowest vpns - exactly the
+// pages a sequential warm-up evicts first, which correlates placement with
+// heat. Scrambling multiplies the rank by a fixed odd constant modulo the
+// footprint, a bijection whenever the footprint is coprime with the
+// multiplier (any power of two qualifies), so popularity stays zipf but
+// heat is uniform over the vpn range.
+class ScrambledZipfStream : public AccessStream {
+ public:
+  ScrambledZipfStream(size_t footprint_pages, double theta,
+                      SimTimeNs think_ns = 0)
+      : footprint_(footprint_pages),
+        zipf_(footprint_pages, theta),
+        think_ns_(think_ns) {}
+
+  MemOp Next(Rng& rng) override {
+    const uint64_t rank = zipf_.Sample(rng);
+    return MemOp{(rank * kScramble) % footprint_, false, think_ns_, true};
+  }
+  size_t footprint_pages() const override { return footprint_; }
+  std::string name() const override {
+    return "scrambled-zipf-" + std::to_string(zipf_.theta()).substr(0, 4);
+  }
+
+ private:
+  // Knuth's multiplicative-hash constant; odd, so coprime with any
+  // power-of-two footprint.
+  static constexpr uint64_t kScramble = 2654435761ULL;
+
+  size_t footprint_;
+  ZipfSampler zipf_;
+  SimTimeNs think_ns_;
+};
+
 // Uniformly random page touches.
 class RandomStream : public AccessStream {
  public:

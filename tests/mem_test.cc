@@ -131,6 +131,79 @@ TEST(LruList, ColdestNOrder) {
   EXPECT_EQ(lru.size(), 5u);  // non-destructive
 }
 
+TEST(LruList, AccessCountsTrackTouches) {
+  LruList<int> lru;
+  EXPECT_EQ(lru.AccessCount(1), 0u);  // unknown key
+  lru.Touch(1);
+  EXPECT_EQ(lru.AccessCount(1), 1u);  // insert seeds at 1
+  lru.Touch(1);
+  lru.Touch(1);
+  EXPECT_EQ(lru.AccessCount(1), 3u);
+}
+
+TEST(LruList, DecayHalvesEveryCount) {
+  LruList<int> lru;
+  for (int t = 0; t < 5; ++t) {
+    lru.Touch(1);
+  }
+  lru.Touch(2);
+  lru.DecayCounts();
+  EXPECT_EQ(lru.AccessCount(1), 2u);  // 5 >> 1
+  EXPECT_EQ(lru.AccessCount(2), 0u);  // 1 >> 1: fully cold
+  lru.DecayCounts();
+  EXPECT_EQ(lru.AccessCount(1), 1u);
+}
+
+TEST(LruList, RecycledNodesDoNotInheritHeat) {
+  LruList<int> lru;
+  for (int t = 0; t < 10; ++t) {
+    lru.Touch(1);
+  }
+  lru.Remove(1);
+  lru.Touch(2);  // reuses node slot 0
+  EXPECT_EQ(lru.AccessCount(2), 1u);
+  lru.Touch(1);  // the old key back as a fresh insert
+  EXPECT_EQ(lru.AccessCount(1), 1u);
+}
+
+TEST(LruList, HottestNIsRecencyOrderNonDestructive) {
+  LruList<int> lru;
+  for (int i = 0; i < 5; ++i) {
+    lru.Touch(i);
+  }
+  lru.Touch(1);  // 1 becomes most recent
+  const auto hottest = lru.HottestN(3);
+  EXPECT_EQ(hottest, (std::vector<int>{1, 4, 3}));
+  EXPECT_EQ(lru.size(), 5u);
+}
+
+TEST(LruList, ColdestSelectionIsDeterministic) {
+  // Two lists built by the same operation sequence agree exactly on the
+  // hot/cold boundary - the property the tier migrator's page selection
+  // rests on.
+  LruList<int> a;
+  LruList<int> b;
+  for (const int key : {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}) {
+    a.Touch(key);
+    b.Touch(key);
+  }
+  a.DecayCounts();
+  b.DecayCounts();
+  EXPECT_EQ(a.ColdestN(4), b.ColdestN(4));
+  EXPECT_EQ(a.HottestN(4), b.HottestN(4));
+  EXPECT_EQ(a.Coldest(), b.Coldest());
+  EXPECT_EQ(a.AccessCount(5), b.AccessCount(5));
+  EXPECT_EQ(a.AccessCount(5), 1u);  // 3 touches >> 1
+}
+
+TEST(LruList, AccessCountSaturatesAtCap) {
+  LruList<int> lru;
+  for (int t = 0; t < 70000; ++t) {
+    lru.Touch(1);
+  }
+  EXPECT_EQ(lru.AccessCount(1), 0xFFFFu);
+}
+
 TEST(LruList, PidVpnKeysWork) {
   LruList<PidVpn, PidVpnHash> lru;
   lru.Touch({1, 100});
