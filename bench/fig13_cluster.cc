@@ -6,10 +6,13 @@
 // function of cluster load (per-link bandwidth fixed, so p99 rises with
 // host count) and slab-placement imbalance across policies.
 //
-// Usage: fig13_cluster [--smoke] [output.json]
+// Usage: fig13_cluster [--smoke] [--hosts N] [output.json]
 //   --smoke   tiny configuration for CI (3 scales, small footprints)
+//   --hosts N probe a single host-count scale instead of the built-in
+//             sweep (placement comparison is skipped; N must be > 0)
 //   output    trajectory JSON (default BENCH_cluster.json)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -139,7 +142,8 @@ size_t ImbalanceWith(const BenchGeometry& geo, size_t hosts,
 
 void WriteJson(const char* path, const BenchGeometry& geo,
                const std::vector<ScaleResult>& scales, size_t ff_imbalance,
-               size_t po2_imbalance, size_t striped_imbalance, bool smoke) {
+               size_t po2_imbalance, size_t striped_imbalance, bool smoke,
+               bool include_placement) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -186,18 +190,26 @@ void WriteJson(const char* path, const BenchGeometry& geo,
         static_cast<unsigned long long>(s.gray_transitions),
         i + 1 < scales.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f,
-               "  \"placement_imbalance_at_4_hosts\": {\"first_fit\": %zu, "
-               "\"power_of_two\": %zu, \"striped\": %zu}\n",
-               ff_imbalance, po2_imbalance, striped_imbalance);
+  if (include_placement) {
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"placement_imbalance_at_4_hosts\": {\"first_fit\": %zu, "
+                 "\"power_of_two\": %zu, \"striped\": %zu}\n",
+                 ff_imbalance, po2_imbalance, striped_imbalance);
+  } else {
+    std::fprintf(f, "  ]\n");
+  }
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
 
-void Run(bool smoke, const char* json_path) {
-  const BenchGeometry geo = smoke ? SmokeGeometry() : FullGeometry();
+void Run(bool smoke, size_t hosts_override, const char* json_path) {
+  BenchGeometry geo = smoke ? SmokeGeometry() : FullGeometry();
+  if (hosts_override > 0) {
+    // Single-point probe: one scale, no placement-policy comparison.
+    geo.host_scales = {hosts_override};
+  }
   bench::PrintHeader(
       "Figure 13 (cluster): hosts 1 -> 32 sharing a fixed donor pool",
       "single-host concurrency (paper: 1.1-2.4x across four apps) scaled "
@@ -231,22 +243,25 @@ void Run(bool smoke, const char* json_path) {
   // Placement-policy comparison at the 4-host scale (acceptance: two
   // choices beats first-fit on imbalance). The power-of-two number is
   // already in the sweep above; only the other policies need a run.
-  const size_t compare_hosts = 4;
-  size_t po2 = 0;
-  for (const ScaleResult& s : scales) {
-    if (s.hosts == compare_hosts) {
-      po2 = s.slab_imbalance;
+  // Skipped under --hosts: a single-point probe has no 4-host anchor.
+  size_t ff = 0, po2 = 0, striped = 0;
+  const bool include_placement = hosts_override == 0;
+  if (include_placement) {
+    const size_t compare_hosts = 4;
+    for (const ScaleResult& s : scales) {
+      if (s.hosts == compare_hosts) {
+        po2 = s.slab_imbalance;
+      }
     }
+    ff = ImbalanceWith(geo, compare_hosts, PlacementPolicy::kFirstFit);
+    striped = ImbalanceWith(geo, compare_hosts, PlacementPolicy::kStriped);
+    std::printf("slab imbalance @ %zu hosts: first-fit %zu, "
+                "power-of-two-choices %zu, striped %zu\n\n",
+                compare_hosts, ff, po2, striped);
   }
-  const size_t ff = ImbalanceWith(geo, compare_hosts,
-                                  PlacementPolicy::kFirstFit);
-  const size_t striped = ImbalanceWith(geo, compare_hosts,
-                                       PlacementPolicy::kStriped);
-  std::printf("slab imbalance @ %zu hosts: first-fit %zu, "
-              "power-of-two-choices %zu, striped %zu\n\n",
-              compare_hosts, ff, po2, striped);
 
-  WriteJson(json_path, geo, scales, ff, po2, striped, smoke);
+  WriteJson(json_path, geo, scales, ff, po2, striped, smoke,
+            include_placement);
 }
 
 }  // namespace
@@ -254,14 +269,28 @@ void Run(bool smoke, const char* json_path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  size_t hosts_override = 0;
   const char* json_path = "BENCH_cluster.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
+      hosts_override = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (hosts_override == 0) {
+        std::fprintf(stderr, "--hosts requires a positive integer\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--hosts=", 8) == 0) {
+      hosts_override =
+          static_cast<size_t>(std::strtoul(argv[i] + 8, nullptr, 10));
+      if (hosts_override == 0) {
+        std::fprintf(stderr, "--hosts requires a positive integer\n");
+        return 1;
+      }
     } else {
       json_path = argv[i];
     }
   }
-  leap::Run(smoke, json_path);
+  leap::Run(smoke, hosts_override, json_path);
   return 0;
 }

@@ -209,6 +209,29 @@ class Fabric : public PageTransport {
   // and changes no simulation result).
   StageBreakdown Stages() const;
 
+  // Raw per-class accumulators, exposed so the sharded engine can merge
+  // per-shard fabrics exactly: a merged class mean is sum-of-sums over
+  // sum-of-ops, not a mean of means (shards carry different op counts).
+  double ClassQueueDelaySumNs(IoClass cls) const {
+    return class_delay_sum_ns_[static_cast<size_t>(cls)];
+  }
+  uint64_t ClassQueueDelayOps(IoClass cls) const {
+    return class_delay_ops_[static_cast<size_t>(cls)];
+  }
+  double ClassSojournSumNs(IoClass cls) const {
+    return class_sojourn_sum_ns_[static_cast<size_t>(cls)];
+  }
+  uint64_t ClassSojournOps(IoClass cls) const {
+    return class_sojourn_ops_[static_cast<size_t>(cls)];
+  }
+  // Demand-read per-stage distributions (0..4 = software/queue/wire/stall/
+  // service, 5 = end-to-end total): merged via Histogram::Merge so tail
+  // percentiles recompute over the union of shards' stamped demand reads.
+  static constexpr size_t kDemandStageHists = 6;
+  const Histogram& DemandStageHist(size_t stage) const {
+    return demand_stage_hists_[stage];
+  }
+
  private:
   // Expected in-flight completion, kept in a FIFO ring (downlinks only:
   // incast at the receiver drives the congestion term; uplinks are fully

@@ -3,19 +3,20 @@
 #include <algorithm>
 
 namespace leap {
-namespace {
 
-struct AppState {
-  BoundAppSpec spec;
-  Rng rng{0};
-  SimTimeNs local_time = 0;
-  uint64_t accesses = 0;
-  uint64_t ops = 0;
-  bool done = false;
-  RunResult result;
-};
+BoundAppSet::BoundAppSet(std::vector<BoundAppSpec> specs) {
+  apps_.reserve(specs.size());
+  for (const BoundAppSpec& spec : specs) {
+    AppState state;
+    state.spec = spec;
+    state.rng = Rng(spec.config.seed);
+    state.local_time = spec.config.start_time_ns;
+    state.result.app_name = spec.stream->name();
+    apps_.push_back(std::move(state));
+  }
+}
 
-void FinishApp(AppState& app, bool finished) {
+void BoundAppSet::Finish(AppState& app, bool finished) {
   const SimTimeNs elapsed = app.local_time - app.spec.config.start_time_ns;
   app.done = true;
   app.result.finished = finished;
@@ -26,7 +27,7 @@ void FinishApp(AppState& app, bool finished) {
       elapsed == 0 ? 0.0 : static_cast<double>(app.ops) / ToSec(elapsed);
 }
 
-void Step(AppState& app, size_t index, const RunHooks& hooks) {
+void BoundAppSet::Step(AppState& app, size_t index, const RunHooks& hooks) {
   Machine& machine = *app.spec.machine;
   const MemOp op = app.spec.stream->Next(app.rng);
   app.local_time += op.think_ns;
@@ -46,7 +47,7 @@ void Step(AppState& app, size_t index, const RunHooks& hooks) {
       app.result.miss_latency.Record(access.latency);
     }
     if (hooks.on_remote_access) {
-      hooks.on_remote_access(index, access);
+      hooks.on_remote_access(index, access, app.local_time);
     }
   }
 
@@ -54,11 +55,65 @@ void Step(AppState& app, size_t index, const RunHooks& hooks) {
   const bool capped = app.spec.config.time_cap_ns != 0 &&
                       elapsed > app.spec.config.time_cap_ns;
   if (app.accesses >= app.spec.config.total_accesses || capped) {
-    FinishApp(app, /*finished=*/!capped);
+    Finish(app, /*finished=*/!capped);
   }
 }
 
-}  // namespace
+void BoundAppSet::StepUntil(SimTimeNs until, const RunHooks& hooks) {
+  // Global-time-ordered interleaving: always advance the app whose next
+  // access happens earliest. Shared state (NIC queues, devices, frame
+  // pools, a cluster's fabric and event queue) then observes a single
+  // near-non-decreasing timeline - the contention model and the
+  // determinism guarantee at once.
+  for (;;) {
+    AppState* next = nullptr;
+    size_t next_index = 0;
+    for (size_t i = 0; i < apps_.size(); ++i) {
+      AppState& app = apps_[i];
+      if (!app.done &&
+          (next == nullptr || app.local_time < next->local_time)) {
+        next = &app;
+        next_index = i;
+      }
+    }
+    if (next == nullptr || next->local_time >= until) {
+      break;
+    }
+    if (hooks.keep_running && !hooks.keep_running(next_index)) {
+      Finish(*next, /*finished=*/false);
+      continue;
+    }
+    Step(*next, next_index, hooks);
+  }
+}
+
+bool BoundAppSet::AllDone() const {
+  for (const AppState& app : apps_) {
+    if (!app.done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SimTimeNs BoundAppSet::NextStepTime() const {
+  SimTimeNs earliest = kNoStep;
+  for (const AppState& app : apps_) {
+    if (!app.done && app.local_time < earliest) {
+      earliest = app.local_time;
+    }
+  }
+  return earliest;
+}
+
+std::vector<RunResult> BoundAppSet::TakeResults() {
+  std::vector<RunResult> results;
+  results.reserve(apps_.size());
+  for (AppState& app : apps_) {
+    results.push_back(std::move(app.result));
+  }
+  return results;
+}
 
 RunResult RunApp(Machine& machine, Pid pid, AccessStream& stream,
                  const RunConfig& config) {
@@ -87,49 +142,9 @@ std::vector<RunResult> RunAppsConcurrently(Machine& machine,
 
 std::vector<RunResult> RunBoundApps(std::vector<BoundAppSpec> specs,
                                     const RunHooks& hooks) {
-  std::vector<AppState> apps;
-  apps.reserve(specs.size());
-  for (const BoundAppSpec& spec : specs) {
-    AppState state;
-    state.spec = spec;
-    state.rng = Rng(spec.config.seed);
-    state.local_time = spec.config.start_time_ns;
-    state.result.app_name = spec.stream->name();
-    apps.push_back(std::move(state));
-  }
-
-  // Global-time-ordered interleaving: always advance the app whose next
-  // access happens earliest. Shared state (NIC queues, devices, frame
-  // pools, a cluster's fabric and event queue) then observes a single
-  // near-non-decreasing timeline - the contention model and the
-  // determinism guarantee at once.
-  for (;;) {
-    AppState* next = nullptr;
-    size_t next_index = 0;
-    for (size_t i = 0; i < apps.size(); ++i) {
-      AppState& app = apps[i];
-      if (!app.done &&
-          (next == nullptr || app.local_time < next->local_time)) {
-        next = &app;
-        next_index = i;
-      }
-    }
-    if (next == nullptr) {
-      break;
-    }
-    if (hooks.keep_running && !hooks.keep_running(next_index)) {
-      FinishApp(*next, /*finished=*/false);
-      continue;
-    }
-    Step(*next, next_index, hooks);
-  }
-
-  std::vector<RunResult> results;
-  results.reserve(apps.size());
-  for (AppState& app : apps) {
-    results.push_back(std::move(app.result));
-  }
-  return results;
+  BoundAppSet apps(std::move(specs));
+  apps.StepUntil(BoundAppSet::kNoStep, hooks);
+  return apps.TakeResults();
 }
 
 }  // namespace leap

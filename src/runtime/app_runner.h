@@ -71,7 +71,7 @@ std::vector<RunResult> RunAppsConcurrently(Machine& machine,
 // --- multi-machine core ------------------------------------------------------
 
 // One workload bound to an explicit machine. RunAppsConcurrently and the
-// cluster driver both lower onto this, so there is exactly one
+// cluster drivers both lower onto this, so there is exactly one
 // global-time-ordered interleaving loop in the tree.
 struct BoundAppSpec {
   Machine* machine = nullptr;
@@ -87,9 +87,56 @@ struct RunHooks {
   // stands (reported finished = false with its progress so far).
   std::function<bool(size_t app_index)> keep_running;
   // Fired for every access that went through the paging/VFS path (the
-  // same set recorded into RunResult::remote_access_latency).
-  std::function<void(size_t app_index, const AccessResult& access)>
+  // same set recorded into RunResult::remote_access_latency). `now` is
+  // the app's local time after the access completed.
+  std::function<void(size_t app_index, const AccessResult& access,
+                     SimTimeNs now)>
       on_remote_access;
+};
+
+// A set of bound apps advanced by the global-time-ordered interleaving
+// loop, exposed as a resumable stepper so callers can interleave app
+// progress with other simulation work. RunBoundApps drives it to
+// completion in one call; the sharded engine drives one set per shard in
+// bounded time windows. The step sequence is a pure function of the specs
+// and the window boundaries partitioning time - stepping to `t` in one
+// call or in many produces bit-identical state.
+class BoundAppSet {
+ public:
+  // "No runnable app" sentinel from NextStepTime (all-ones, sorts after
+  // every real timestamp).
+  static constexpr SimTimeNs kNoStep = ~SimTimeNs{0};
+
+  explicit BoundAppSet(std::vector<BoundAppSpec> specs);
+
+  // Advances apps in global-time order while the earliest live app's local
+  // time is < `until`. Pass kNoStep to run everything to completion.
+  void StepUntil(SimTimeNs until, const RunHooks& hooks = {});
+
+  bool AllDone() const;
+  // Earliest live app's local time (the time its next step begins), or
+  // kNoStep when every app has finished.
+  SimTimeNs NextStepTime() const;
+  size_t size() const { return apps_.size(); }
+
+  // Moves results out; the set is spent afterwards.
+  std::vector<RunResult> TakeResults();
+
+ private:
+  struct AppState {
+    BoundAppSpec spec;
+    Rng rng{0};
+    SimTimeNs local_time = 0;
+    uint64_t accesses = 0;
+    uint64_t ops = 0;
+    bool done = false;
+    RunResult result;
+  };
+
+  void Finish(AppState& app, bool finished);
+  void Step(AppState& app, size_t index, const RunHooks& hooks);
+
+  std::vector<AppState> apps_;
 };
 
 std::vector<RunResult> RunBoundApps(std::vector<BoundAppSpec> specs,

@@ -279,8 +279,8 @@ std::vector<RunResult> Cluster::Run(std::vector<ClusterAppSpec> specs) {
   hooks.keep_running = [this, &specs](size_t i) {
     return alive_[specs[i].host];
   };
-  hooks.on_remote_access = [this, &specs](size_t i,
-                                          const AccessResult& access) {
+  hooks.on_remote_access = [this, &specs](size_t i, const AccessResult& access,
+                                          SimTimeNs /*now*/) {
     host_remote_hist_[specs[i].host].Record(access.latency);
     // Windowed demand-miss latency for the sampler's p50/p99 time series
     // (reset every tick). Guarded so a sampler-free run pays nothing.

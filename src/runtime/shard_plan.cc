@@ -1,0 +1,56 @@
+#include "src/runtime/shard_plan.h"
+
+#include <algorithm>
+
+namespace leap {
+
+ShardPlan BuildShardPlan(size_t hosts, size_t nodes, size_t shards) {
+  ShardPlan plan;
+  plan.shards = std::clamp<size_t>(shards, 1, std::max<size_t>(
+                                                 1, std::max(hosts, nodes)));
+  plan.host_shard.resize(hosts);
+  plan.node_shard.resize(nodes);
+  plan.shard_hosts.resize(plan.shards);
+  plan.shard_nodes.resize(plan.shards);
+
+  // Hosts: contiguous ceil-sized blocks, first (hosts % shards) blocks one
+  // larger. Block assignment keeps each shard's host ids dense, so the
+  // per-shard interleaving loop touches a contiguous id range.
+  if (hosts > 0) {
+    const size_t base = hosts / plan.shards;
+    const size_t extra = hosts % plan.shards;
+    size_t next = 0;
+    for (size_t s = 0; s < plan.shards; ++s) {
+      const size_t take = base + (s < extra ? 1 : 0);
+      for (size_t i = 0; i < take; ++i, ++next) {
+        plan.host_shard[next] = static_cast<uint32_t>(s);
+        plan.shard_hosts[s].push_back(static_cast<uint32_t>(next));
+      }
+    }
+  }
+
+  // Nodes: round-robin, so donor capacity spreads evenly even when node
+  // count is not a multiple of the shard count.
+  for (size_t n = 0; n < nodes; ++n) {
+    const size_t s = n % plan.shards;
+    plan.node_shard[n] = static_cast<uint32_t>(s);
+    plan.shard_nodes[s].push_back(static_cast<uint32_t>(n));
+  }
+  return plan;
+}
+
+SimTimeNs FabricLookaheadNs(const FabricConfig& config) {
+  // One op's wire time at full speed: bytes * 8 bits / (gbps) ns.
+  const double wire_ns =
+      config.link_gbps <= 0.0
+          ? 0.0
+          : static_cast<double>(config.op_bytes) * 8.0 / config.link_gbps;
+  const SimTimeNs horizon =
+      config.base_min_ns + static_cast<SimTimeNs>(wire_ns);
+  // A degenerate zero-latency fabric still needs a nonzero window to make
+  // progress; 1ns keeps the protocol well-formed (everything lands next
+  // window).
+  return horizon > 0 ? horizon : 1;
+}
+
+}  // namespace leap

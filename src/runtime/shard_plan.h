@@ -1,0 +1,43 @@
+// Shard planning for the parallel cluster engine: how hosts and donor
+// nodes partition into shards, and how the conservative lookahead horizon
+// derives from the fabric model.
+#ifndef LEAP_SRC_RUNTIME_SHARD_PLAN_H_
+#define LEAP_SRC_RUNTIME_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/fabric.h"
+#include "src/sim/types.h"
+
+namespace leap {
+
+// Static assignment of every host and donor node to a home shard.
+// Hosts get contiguous blocks (host h's workload neighbors stay in its
+// shard, matching the per-rack intuition); nodes round-robin so every
+// shard gets a slice of donor capacity. Shards with hosts but no nodes
+// (or vice versa) are legal: a donor-only shard just runs fabric/repair
+// events on its own queue.
+struct ShardPlan {
+  size_t shards = 1;
+  std::vector<uint32_t> host_shard;  // host id -> shard
+  std::vector<uint32_t> node_shard;  // node id -> shard
+  std::vector<std::vector<uint32_t>> shard_hosts;  // shard -> host ids
+  std::vector<std::vector<uint32_t>> shard_nodes;  // shard -> node ids
+};
+
+// Builds the plan. `shards` is clamped to [1, max(hosts, nodes)] so every
+// shard owns at least one host or one node.
+ShardPlan BuildShardPlan(size_t hosts, size_t nodes, size_t shards);
+
+// Conservative lookahead horizon: no cross-shard op can take effect
+// sooner than the fabric's best case, which is the minimum base latency
+// plus one op's wire serialization at full link speed. Windows of this
+// width let every shard run ahead freely - anything a peer sends lands at
+// least one full window in the future.
+SimTimeNs FabricLookaheadNs(const FabricConfig& config);
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_RUNTIME_SHARD_PLAN_H_

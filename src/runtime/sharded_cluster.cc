@@ -1,0 +1,692 @@
+#include "src/runtime/sharded_cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace leap {
+
+namespace {
+
+// SplitMix64 finalizer: the deterministic mixer behind mirror targeting.
+// Thread-timing-free - a pure function of (host, miss tick).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void PinToCpu(size_t index) {
+#ifdef __linux__
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    return;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(index % hw, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)index;
+#endif
+}
+
+}  // namespace
+
+// Everything a worker thread owns exclusively between barriers. Pointers
+// into the global tables (nodes_, hosts_) are partitioned by the plan, so
+// no simulation object is ever touched by two shards in the same window.
+struct ShardedCluster::Shard {
+  uint32_t id = 0;
+  EventQueue events;
+  std::unique_ptr<Fabric> fabric;
+  std::unique_ptr<SlabPlacer> placer;
+  std::unique_ptr<HealthMonitor> health;  // null unless enabled
+  std::vector<uint32_t> hosts;            // global host ids (ascending)
+  std::vector<uint32_t> nodes;            // global node ids (ascending)
+  std::vector<uint32_t> foreign_nodes;    // mirror targets (other shards)
+  Counters counters;  // scenario + cross-shard counters, merged in Stats
+  // Receiver-side fabric draws for applied mirror ops. Seeded from a
+  // stream disjoint from host seeding so shards>1 never perturbs the host
+  // seed sequence; never drawn at shards=1 (no mirrors exist).
+  Rng mailbox_rng{0};
+
+  // Per-Run state.
+  std::unique_ptr<BoundAppSet> apps;
+  std::vector<size_t> app_spec_index;  // shard-local app -> global spec
+  std::vector<uint32_t> app_host;      // shard-local app -> global host id
+  RunHooks hooks;
+
+  // Cross-shard plumbing. out[r] is this shard's SPSC ring toward shard r
+  // (unique_ptr: the ring's atomics make it immovable); pending holds
+  // transferred ops awaiting their application window.
+  std::vector<std::unique_ptr<SpscMailbox>> out;
+  std::vector<CrossShardOp> pending;
+  std::vector<uint64_t> host_tick;  // per global host: demand-miss count
+  uint64_t next_seq = 0;
+  uint64_t sent = 0;
+  uint64_t applied = 0;
+
+  // Demand-miss latency within the current sampler window (barrier-reset).
+  Histogram demand_window_hist;
+  std::thread worker;
+};
+
+ShardedCluster::ShardedCluster(const ShardedClusterConfig& config)
+    : config_(config), host_seeder_(config.base.seed) {
+  if (config_.base.trace.enabled) {
+    throw std::invalid_argument(
+        "leap::ShardedCluster: trace recording requires the single-queue "
+        "Cluster (the flight-recorder ring is not shard-safe)");
+  }
+  config_.base.resilience.Validate();
+
+  size_t shards = config_.shards;
+  if (shards == 0) {
+    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    shards = std::max<size_t>(1, std::min(config_.base.hosts, hw));
+  }
+  // Plan over the effective node count: like Cluster, a nodeless config
+  // still gets one synthetic donor node.
+  plan_ = BuildShardPlan(config_.base.hosts,
+                         std::max<size_t>(1, config_.base.nodes), shards);
+  window_ns_ = config_.window_ns != 0 ? config_.window_ns
+                                      : FabricLookaheadNs(config_.base.fabric);
+
+  // Global node table first, in id order - same construction sequence as
+  // Cluster, so shards=1 allocates and seeds everything identically.
+  for (size_t n = 0; n < std::max<size_t>(1, config_.base.nodes); ++n) {
+    nodes_.push_back(std::make_unique<RemoteAgent>(
+        static_cast<uint32_t>(n), config_.base.node_capacity_slabs));
+  }
+
+  shards_.reserve(plan_.shards);
+  for (size_t s = 0; s < plan_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    BuildShard(s);
+  }
+
+  // Hosts in GLOBAL id order: each host draws its seed from host_seeder_
+  // in the same sequence as Cluster::AddHost, regardless of which shard it
+  // lands on.
+  for (size_t h = 0; h < config_.base.hosts; ++h) {
+    AddHost(*shards_[plan_.host_shard[h]]);
+  }
+}
+
+ShardedCluster::~ShardedCluster() = default;
+
+void ShardedCluster::BuildShard(size_t s) {
+  Shard& shard = *shards_[s];
+  shard.id = static_cast<uint32_t>(s);
+  shard.hosts = plan_.shard_hosts[s];
+  shard.nodes = plan_.shard_nodes[s];
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (plan_.node_shard[n] != static_cast<uint32_t>(s)) {
+      shard.foreign_nodes.push_back(static_cast<uint32_t>(n));
+    }
+  }
+  // Fabric sized for the WHOLE cluster (global host/node link indexing);
+  // each shard only drives its own partition's links, except mirror ops,
+  // which charge the sending host's uplink on the receiver's fabric.
+  shard.fabric = std::make_unique<Fabric>(
+      config_.base.fabric, std::max<size_t>(1, config_.base.hosts),
+      std::max<size_t>(1, config_.base.nodes));
+  shard.placer = MakeSlabPlacer(config_.base.placement);
+  if (config_.base.resilience.enabled || config_.base.health_monitor_enabled) {
+    shard.health =
+        std::make_unique<HealthMonitor>(config_.base.health, nodes_.size());
+    shard.health->SetCounters(&shard.counters);
+  }
+  // Stream tag keeps this disjoint from host seeding (host_seeder_ draws
+  // exactly one value per host, same as Cluster) and distinct per shard.
+  shard.mailbox_rng = Rng(
+      Mix64(config_.base.seed ^ (0x6D61696C626F78ULL + shard.id)));
+  shard.host_tick.assign(config_.base.hosts, 0);
+  shard.out.reserve(plan_.shards);
+  for (size_t r = 0; r < plan_.shards; ++r) {
+    shard.out.push_back(
+        std::make_unique<SpscMailbox>(config_.mailbox_capacity));
+  }
+}
+
+size_t ShardedCluster::AddHost(Shard& shard) {
+  const size_t id = hosts_.size();
+  MachineConfig host_config = config_.base.host;
+  host_config.medium = Medium::kRemote;
+  host_config.seed = host_seeder_.NextU64();
+
+  MachineEnv env;
+  env.shared_events = &shard.events;
+  env.fabric = shard.fabric.get();
+  env.placer = shard.placer.get();
+  env.host_id = static_cast<uint32_t>(id);
+  env.remote_pool.reserve(shard.nodes.size());
+  for (const uint32_t n : shard.nodes) {
+    env.remote_pool.push_back(nodes_[n].get());
+  }
+
+  hosts_.push_back(std::make_unique<Machine>(host_config, env));
+  HostAgent* agent = hosts_.back()->host_agent();
+  if (shard.health != nullptr) {
+    agent->SetHealthTracker(shard.health.get());
+  }
+  if (config_.base.resilience.enabled) {
+    agent->SetResilience(config_.base.resilience);
+  }
+  alive_.push_back(1);
+  host_remote_hist_.emplace_back();
+  shard.counters.Add(counter::kHostJoins);
+  return id;
+}
+
+void ShardedCluster::RemoveHost(size_t host) {
+  if (host >= hosts_.size() || alive_[host] == 0) {
+    return;
+  }
+  alive_[host] = 0;
+  hosts_[host]->host_agent()->ReleaseAllSlabs();
+  shards_[plan_.host_shard[host]]->counters.Add(counter::kHostLeaves);
+}
+
+void ShardedCluster::ScheduleNodeFailure(uint32_t node, SimTimeNs at) {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("leap::ShardedCluster: unknown node");
+  }
+  Shard* shard = shards_[plan_.node_shard[node]].get();
+  shard->events.ScheduleAt(at, [this, shard, node](SimTimeNs when) {
+    nodes_[node]->Fail();
+    shard->counters.Add(counter::kNodeFailures);
+    // Only home-shard hosts can hold slabs on this node (placement is
+    // shard-local), so repair fan-out stays inside the shard. Mirror
+    // replicas on the node are fire-and-forget: they are lost, not
+    // repaired (cross-domain DR semantics).
+    for (const uint32_t h : shard->hosts) {
+      if (alive_[h] != 0) {
+        hosts_[h]->host_agent()->RepairSlabsAfterFailure(node, when);
+      }
+    }
+  });
+}
+
+void ShardedCluster::ScheduleNodeRecovery(uint32_t node, SimTimeNs at) {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("leap::ShardedCluster: unknown node");
+  }
+  Shard* shard = shards_[plan_.node_shard[node]].get();
+  shard->events.ScheduleAt(at, [this, shard, node](SimTimeNs /*when*/) {
+    nodes_[node]->Recover();
+    shard->counters.Add(counter::kNodeRecoveries);
+  });
+}
+
+void ShardedCluster::ScheduleNodeGray(uint32_t node, double stretch,
+                                      SimTimeNs at, SimTimeNs until) {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("leap::ShardedCluster: unknown node");
+  }
+  if (stretch <= 0.0) {
+    throw std::invalid_argument(
+        "leap::ShardedCluster: gray stretch must be > 0");
+  }
+  Shard* shard = shards_[plan_.node_shard[node]].get();
+  shard->events.ScheduleAt(at, [shard, node, stretch](SimTimeNs /*when*/) {
+    shard->fabric->SetNodeSlowdown(node, stretch);
+    if (stretch != 1.0) {
+      shard->counters.Add(counter::kGrayFaultEvents);
+    }
+  });
+  if (until > at) {
+    shard->events.ScheduleAt(until, [shard, node](SimTimeNs /*when*/) {
+      shard->fabric->SetNodeSlowdown(node, 1.0);
+    });
+  }
+}
+
+void ShardedCluster::ScheduleNodeDelaySpike(uint32_t node, SimTimeNs extra_ns,
+                                            SimTimeNs at, SimTimeNs until) {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("leap::ShardedCluster: unknown node");
+  }
+  Shard* shard = shards_[plan_.node_shard[node]].get();
+  shard->events.ScheduleAt(at, [shard, node, extra_ns](SimTimeNs /*when*/) {
+    shard->fabric->SetNodeExtraDelayNs(node, extra_ns);
+    shard->counters.Add(counter::kDelaySpikeEvents);
+  });
+  if (until > at) {
+    shard->events.ScheduleAt(until, [shard, node](SimTimeNs /*when*/) {
+      shard->fabric->SetNodeExtraDelayNs(node, 0);
+    });
+  }
+}
+
+void ShardedCluster::ScheduleHostLeave(size_t host, SimTimeNs at) {
+  if (host >= hosts_.size()) {
+    throw std::out_of_range("leap::ShardedCluster: unknown host");
+  }
+  Shard* shard = shards_[plan_.host_shard[host]].get();
+  shard->events.ScheduleAt(
+      at, [this, host](SimTimeNs /*when*/) { RemoveHost(host); });
+}
+
+void ShardedCluster::SendMirror(Shard& shard, uint32_t host, uint64_t tick,
+                                SimTimeNs now) {
+  const uint64_t mix = Mix64((static_cast<uint64_t>(host) << 32) ^ tick);
+  const uint32_t node =
+      shard.foreign_nodes[mix % shard.foreign_nodes.size()];
+  CrossShardOp op;
+  // One full lookahead out: now >= window_start, so effect_ts >= the end
+  // of the current window - the receiver cannot need it before the next
+  // barrier has transferred it.
+  op.effect_ts = now + window_ns_;
+  op.seq = shard.next_seq++;
+  // Mirror pages live in a namespace no HostAgent PageKey can collide
+  // with (bit 63 set; PageKey is (host << 48) ^ slot with host < 2^15).
+  op.page_key =
+      (1ULL << 63) | (static_cast<uint64_t>(host) << 32) | (tick & 0xffffffff);
+  op.tag = mix;
+  op.slot = static_cast<SwapSlot>(tick);
+  op.node = node;
+  op.host = host;
+  op.sender = shard.id;
+  op.kind = CrossShardOp::Kind::kMirrorWrite;
+  shard.out[plan_.node_shard[node]]->Push(op);
+  ++shard.sent;
+  shard.counters.Add(counter::kCrossShardSent);
+}
+
+void ShardedCluster::ApplyPending(Shard& shard) {
+  if (shard.pending.empty()) {
+    return;
+  }
+  // Deterministic application order regardless of which barrier drained
+  // which ring first: simulated time, then (sender, seq).
+  std::sort(shard.pending.begin(), shard.pending.end(), CrossShardOpBefore);
+  size_t n = 0;
+  while (n < shard.pending.size() &&
+         shard.pending[n].effect_ts < window_end_) {
+    ++n;
+  }
+  if (n == 0) {
+    return;
+  }
+  // Fire this shard's background events due before the window, so a node
+  // failure scheduled earlier is visible to the failed() check below.
+  if (window_start_ > 0) {
+    shard.events.RunUntil(window_start_ - 1);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const CrossShardOp& op = shard.pending[i];
+    RemoteAgent& node = *nodes_[op.node];
+    if (!node.failed()) {
+      IoRequest req;
+      req.slot = op.slot;
+      req.tenant = op.tenant;
+      req.host = op.host;
+      req.cls = IoClass::kWriteback;
+      req.bytes = op.bytes;
+      req.enqueue_ts = op.effect_ts;
+      shard.fabric->SubmitPageOp(req, op.node, op.effect_ts,
+                                 shard.mailbox_rng);
+      node.StorePage(op.page_key, op.tag);
+      node.CountWrite();
+    }
+    ++shard.applied;
+    shard.counters.Add(counter::kCrossShardApplied);
+  }
+  shard.pending.erase(shard.pending.begin(),
+                      shard.pending.begin() + static_cast<ptrdiff_t>(n));
+}
+
+void ShardedCluster::OnBarrier() {
+  // Serial section: exactly one thread runs this while every other worker
+  // waits inside the barrier, so plain reads of shard state are safe.
+  ++windows_run_;
+
+  // 1. Transfer: drain every (sender -> receiver) ring into the receiver's
+  // pending list. Serially, so overflow flushes and ring drains interleave
+  // identically run to run.
+  for (const auto& sender : shards_) {
+    for (size_t r = 0; r < shards_.size(); ++r) {
+      sender->out[r]->DrainTo(shards_[r]->pending);
+    }
+  }
+
+  // 2. Global minimum of future work: the earliest app step or pending op
+  // anywhere. Background events deliberately do not hold the run open -
+  // like the single-queue engine, events after the last access never run.
+  SimTimeNs global_min = BoundAppSet::kNoStep;
+  for (const auto& shard : shards_) {
+    global_min = std::min(global_min, shard->apps->NextStepTime());
+    for (const CrossShardOp& op : shard->pending) {
+      global_min = std::min(global_min, op.effect_ts);
+    }
+  }
+  if (global_min == BoundAppSet::kNoStep) {
+    stopped_ = true;
+    return;
+  }
+
+  // 3. Advance - jumping over idle stretches (apps far in the future, a
+  // pending op windows away) in one step instead of spinning empty
+  // windows.
+  const uint64_t next_index =
+      std::max(window_end_ / window_ns_, global_min / window_ns_);
+  window_start_ = next_index * window_ns_;
+  window_end_ = window_start_ + window_ns_;
+
+  // 4. Barrier-synchronized samples at every period boundary crossed.
+  if (config_.base.sampler.enabled) {
+    while (next_sample_ts_ < window_start_) {
+      TakeSample(next_sample_ts_);
+      next_sample_ts_ += config_.base.sampler.period_ns;
+    }
+  }
+}
+
+void ShardedCluster::TakeSample(SimTimeNs ts) {
+  StatsSample sample;
+  sample.ts = ts;
+  sample_scratch_.Reset();
+  for (const auto& shard : shards_) {
+    sample_scratch_.Merge(shard->demand_window_hist);
+    shard->demand_window_hist.Reset();
+  }
+  sample.window_demand_ops = sample_scratch_.count();
+  sample.window_demand_p50_ns = sample_scratch_.Percentile(0.50);
+  sample.window_demand_p99_ns = sample_scratch_.Percentile(0.99);
+  const bool health = shards_[0]->health != nullptr;
+  if (health) {
+    sample.node_state.reserve(nodes_.size());
+    sample.node_ewma_ns.reserve(nodes_.size());
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      const HealthMonitor& monitor =
+          *shards_[plan_.node_shard[n]]->health;
+      sample.node_state.push_back(
+          static_cast<uint8_t>(monitor.State(static_cast<uint32_t>(n))));
+      sample.node_ewma_ns.push_back(
+          monitor.NodeEwmaNs(static_cast<uint32_t>(n)));
+    }
+  }
+  sample.host_free_frames.reserve(hosts_.size());
+  sample.host_cache_pages.reserve(hosts_.size());
+  for (const auto& host : hosts_) {
+    sample.host_free_frames.push_back(host->free_frames());
+    sample.host_cache_pages.push_back(host->cache_size());
+  }
+  samples_.push_back(std::move(sample));
+}
+
+void ShardedCluster::WorkerLoop(Shard& shard) {
+  if (config_.pin_threads) {
+    PinToCpu(shard.id);
+  }
+  for (;;) {
+    ApplyPending(shard);
+    shard.apps->StepUntil(window_end_, shard.hooks);
+    barrier_->ArriveAndWait();
+    if (stopped_) {
+      break;
+    }
+    // Background catch-up for shards with nothing left to step (donor-only
+    // shards, shards whose apps finished): scenario events keep firing so
+    // failures/recoveries still land while the cluster runs. Shards with
+    // live apps drain their queue through Machine::Access, exactly like
+    // the single-queue engine - and the final window never drains here at
+    // all, preserving "events after the last access never run".
+    if (shard.apps->AllDone() && window_start_ > 0) {
+      shard.events.RunUntil(window_start_ - 1);
+    }
+  }
+}
+
+std::vector<RunResult> ShardedCluster::Run(std::vector<ClusterAppSpec> specs) {
+  if (ran_) {
+    throw std::logic_error("leap::ShardedCluster: Run may be called once");
+  }
+  ran_ = true;
+
+  // Partition specs by home shard, preserving global order within each
+  // shard (BoundAppSet's min-time tie-break is index order, and Cluster
+  // feeds specs in caller order - shards=1 must match exactly).
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ClusterAppSpec& spec = specs[i];
+    if (spec.host >= hosts_.size()) {
+      throw std::out_of_range("leap::ShardedCluster: unknown host in spec");
+    }
+    Shard& shard = *shards_[plan_.host_shard[spec.host]];
+    shard.app_spec_index.push_back(i);
+    shard.app_host.push_back(static_cast<uint32_t>(spec.host));
+  }
+  const bool mirrors_on = config_.mirror_every > 0 && plan_.shards > 1;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::vector<BoundAppSpec> bound;
+    bound.reserve(shard.app_spec_index.size());
+    for (const size_t i : shard.app_spec_index) {
+      bound.push_back(
+          {hosts_[specs[i].host].get(), specs[i].pid, specs[i].stream,
+           specs[i].config});
+    }
+    shard.apps = std::make_unique<BoundAppSet>(std::move(bound));
+    shard.hooks.keep_running = [this, &shard](size_t i) {
+      return alive_[shard.app_host[i]] != 0;
+    };
+    shard.hooks.on_remote_access = [this, &shard, mirrors_on](
+                                       size_t i, const AccessResult& access,
+                                       SimTimeNs now) {
+      const uint32_t h = shard.app_host[i];
+      host_remote_hist_[h].Record(access.latency);
+      if (access.type != AccessType::kMiss) {
+        return;
+      }
+      if (config_.base.sampler.enabled) {
+        shard.demand_window_hist.Record(access.latency);
+      }
+      if (mirrors_on && !shard.foreign_nodes.empty()) {
+        const uint64_t tick = ++shard.host_tick[h];
+        if (tick % config_.mirror_every == 0) {
+          SendMirror(shard, h, tick, now);
+        }
+      }
+    };
+  }
+
+  // Initial window: start at the earliest app step (apps typically begin
+  // after a long warm-up; starting at 0 would spin thousands of empty
+  // windows).
+  SimTimeNs global_min = BoundAppSet::kNoStep;
+  for (const auto& shard : shards_) {
+    global_min = std::min(global_min, shard->apps->NextStepTime());
+  }
+  std::vector<RunResult> results(specs.size());
+  if (global_min == BoundAppSet::kNoStep) {
+    return results;  // no apps anywhere
+  }
+  window_start_ = (global_min / window_ns_) * window_ns_;
+  window_end_ = window_start_ + window_ns_;
+  stopped_ = false;
+  windows_run_ = 0;
+  if (config_.base.sampler.enabled) {
+    const SimTimeNs period = config_.base.sampler.period_ns;
+    next_sample_ts_ = ((window_start_ + period - 1) / period) * period;
+  }
+  barrier_ =
+      std::make_unique<WindowBarrier>(plan_.shards, [this] { OnBarrier(); });
+
+  if (plan_.shards == 1) {
+    // Single shard: run inline. No threads, no pinning - the worker loop
+    // plus barrier degenerate to exactly the single-queue engine's loop.
+    WorkerLoop(*shards_[0]);
+  } else {
+    for (const auto& shard : shards_) {
+      shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(*s); });
+    }
+    for (const auto& shard : shards_) {
+      shard->worker.join();
+    }
+  }
+
+  for (const auto& shard : shards_) {
+    std::vector<RunResult> shard_results = shard->apps->TakeResults();
+    for (size_t j = 0; j < shard_results.size(); ++j) {
+      results[shard->app_spec_index[j]] = std::move(shard_results[j]);
+    }
+  }
+  return results;
+}
+
+ClusterStats ShardedCluster::Stats() const {
+  ClusterStats stats;
+  for (const auto& shard : shards_) {
+    stats.totals.Merge(shard->counters);
+  }
+  for (const auto& host : hosts_) {
+    stats.totals.Merge(host->counters());
+  }
+  stats.node_slabs.reserve(nodes_.size());
+  stats.node_reads.reserve(nodes_.size());
+  stats.node_writes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    stats.node_slabs.push_back(node->mapped_slabs());
+    stats.node_reads.push_back(node->reads_served());
+    stats.node_writes.push_back(node->writes_served());
+  }
+  for (const auto& shard : shards_) {
+    stats.fabric_ops += shard->fabric->ops();
+    stats.fabric_bytes += shard->fabric->bytes();
+  }
+  // Per-link class counts: each op is charged on exactly one shard's
+  // fabric, so summing the same link across every fabric is exact.
+  stats.host_uplink_classes.resize(
+      std::max<size_t>(1, hosts_.size()));
+  stats.node_downlink_classes.resize(nodes_.size());
+  for (const auto& shard : shards_) {
+    for (size_t h = 0; h < stats.host_uplink_classes.size(); ++h) {
+      const LinkClassCounts& link =
+          shard->fabric->host_classes(static_cast<uint32_t>(h));
+      for (size_t c = 0; c < kIoClassCount; ++c) {
+        stats.host_uplink_classes[h].ops[c] += link.ops[c];
+        stats.host_uplink_classes[h].bytes[c] += link.bytes[c];
+      }
+    }
+    for (size_t n = 0; n < stats.node_downlink_classes.size(); ++n) {
+      const LinkClassCounts& link =
+          shard->fabric->node_classes(static_cast<uint32_t>(n));
+      for (size_t c = 0; c < kIoClassCount; ++c) {
+        stats.node_downlink_classes[n].ops[c] += link.ops[c];
+        stats.node_downlink_classes[n].bytes[c] += link.bytes[c];
+      }
+    }
+  }
+  for (size_t c = 0; c < kIoClassCount; ++c) {
+    const auto cls = static_cast<IoClass>(c);
+    double delay_sum = 0.0, sojourn_sum = 0.0;
+    uint64_t delay_ops = 0, sojourn_ops = 0;
+    double single_ewma = 0.0, weighted_ewma = 0.0;
+    size_t ewma_contributors = 0;
+    for (const auto& shard : shards_) {
+      const Fabric& fabric = *shard->fabric;
+      delay_sum += fabric.ClassQueueDelaySumNs(cls);
+      sojourn_sum += fabric.ClassSojournSumNs(cls);
+      sojourn_ops += fabric.ClassSojournOps(cls);
+      const uint64_t ops = fabric.ClassQueueDelayOps(cls);
+      delay_ops += ops;
+      if (ops > 0) {
+        ++ewma_contributors;
+        single_ewma = fabric.QueueDelayEwmaNs(cls);
+        weighted_ewma +=
+            fabric.QueueDelayEwmaNs(cls) * static_cast<double>(ops);
+      }
+    }
+    // One contributing shard: copy its EWMA verbatim (float-exact, and
+    // therefore bit-identical to Cluster at shards=1). Several: the
+    // ops-weighted mean is the sensible cluster-wide summary.
+    stats.class_queue_delay_ewma_ns[c] =
+        ewma_contributors == 0
+            ? 0.0
+            : (ewma_contributors == 1
+                   ? single_ewma
+                   : weighted_ewma / static_cast<double>(delay_ops));
+    stats.class_queue_delay_mean_ns[c] =
+        delay_ops == 0 ? 0.0 : delay_sum / static_cast<double>(delay_ops);
+    stats.class_sojourn_mean_ns[c] =
+        sojourn_ops == 0 ? 0.0 : sojourn_sum / static_cast<double>(sojourn_ops);
+  }
+  if (shards_[0]->health != nullptr) {
+    stats.node_health_ewma_ns.reserve(nodes_.size());
+    stats.node_health_state.reserve(nodes_.size());
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      // Each node's health lives on its home shard's monitor: only home
+      // hosts read from it, so only that monitor ever saw its latencies.
+      const HealthMonitor& monitor = *shards_[plan_.node_shard[n]]->health;
+      const auto id = static_cast<uint32_t>(n);
+      stats.node_health_ewma_ns.push_back(monitor.NodeEwmaNs(id));
+      stats.node_health_state.push_back(monitor.State(id));
+    }
+  }
+  // Stage sums add; demand-stage tail percentiles recompute over the
+  // merged histograms (a p99 of p99s would be meaningless).
+  for (const auto& shard : shards_) {
+    const StageBreakdown shard_stages = shard->fabric->Stages();
+    for (size_t c = 0; c < kIoClassCount; ++c) {
+      StageBreakdown::Stage& dst = stats.stages.cls[c];
+      const StageBreakdown::Stage& src = shard_stages.cls[c];
+      dst.software_ns += src.software_ns;
+      dst.queue_ns += src.queue_ns;
+      dst.wire_ns += src.wire_ns;
+      dst.stall_ns += src.stall_ns;
+      dst.service_ns += src.service_ns;
+      dst.ops += src.ops;
+    }
+  }
+  {
+    std::array<uint64_t, Fabric::kDemandStageHists> p99{};
+    Histogram merged;
+    for (size_t i = 0; i < Fabric::kDemandStageHists; ++i) {
+      merged.Reset();
+      for (const auto& shard : shards_) {
+        merged.Merge(shard->fabric->DemandStageHist(i));
+      }
+      p99[i] = merged.Percentile(0.99);
+    }
+    stats.stages.demand_p99_software_ns = p99[0];
+    stats.stages.demand_p99_queue_ns = p99[1];
+    stats.stages.demand_p99_wire_ns = p99[2];
+    stats.stages.demand_p99_stall_ns = p99[3];
+    stats.stages.demand_p99_service_ns = p99[4];
+    stats.stages.demand_p99_total_ns = p99[5];
+  }
+  for (const auto& host : hosts_) {
+    const TieredStore* tiered = host->tiered_store();
+    if (tiered == nullptr) {
+      continue;
+    }
+    if (stats.tier_pages.empty()) {
+      stats.tier_pages.resize(kTierCount, 0);
+    }
+    for (size_t t = 0; t < kTierCount; ++t) {
+      stats.tier_pages[t] += tiered->TierPages(t);
+    }
+  }
+  return stats;
+}
+
+uint64_t ShardedCluster::mailbox_overflows() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& mailbox : shard->out) {
+      total += mailbox->overflowed();
+    }
+  }
+  return total;
+}
+
+}  // namespace leap

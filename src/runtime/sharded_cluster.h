@@ -1,0 +1,158 @@
+// Sharded parallel cluster engine: the single-queue Cluster's semantics,
+// partitioned across worker threads.
+//
+// The cluster is split by a ShardPlan into shards, each owning a block of
+// hosts and a slice of donor nodes, with its own EventQueue, Fabric,
+// SlabPlacer, HealthMonitor, RNG streams, and worker thread. Each host's
+// donor pool is its home shard's node slice, so the entire synchronous
+// demand path (fault -> HostAgent -> fabric -> node) stays shard-local and
+// byte-for-byte identical to the single-queue engine. Cross-shard traffic
+// is asynchronous by construction: every Nth demand miss emits a
+// fire-and-forget mirror write (cross-domain replica, DR-style) to a
+// foreign node, carried by an SPSC mailbox and applied by the target shard
+// at its fabric downlink.
+//
+// Time advances in conservative lockstep windows of width
+// FabricLookaheadNs (the fabric's minimum one-op latency): within a
+// window every shard runs free; at the window barrier the last-arriving
+// worker drains all mailboxes, decides the next window (advancing over
+// idle gaps in one jump), and snapshots barrier-synchronized samples.
+// Ops sent in window k carry effect_ts >= end(k), so every op applicable
+// in a window crossed the barrier at least one window earlier - receivers
+// apply them sorted by (effect_ts, sender, seq), making the applied
+// sequence independent of thread scheduling.
+//
+// Determinism contract (pinned by sharded_cluster_test):
+//  - same seed + same shard count => bit-identical ClusterStats,
+//  - shards=1 => bit-identical to Cluster (same construction order, same
+//    seed draws, same stepping sequence, no mirrors, no extra drains).
+#ifndef LEAP_SRC_RUNTIME_SHARDED_CLUSTER_H_
+#define LEAP_SRC_RUNTIME_SHARDED_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/obs/stats_sampler.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/shard_plan.h"
+#include "src/sim/shard_sync.h"
+
+namespace leap {
+
+struct ShardedClusterConfig {
+  // Geometry, workload template, fabric, placement, seed, resilience -
+  // everything the single-queue engine takes. trace must stay disabled
+  // (the flight recorder's ring is not shard-safe; the ctor throws).
+  ClusterConfig base;
+  // Shard count; 0 = auto (min of host count and hardware threads,
+  // at least 1). Clamped to [1, max(hosts, nodes)] by the planner.
+  size_t shards = 0;
+  // Window width override; 0 = derive FabricLookaheadNs(base.fabric).
+  SimTimeNs window_ns = 0;
+  // Cross-shard mirror cadence: every Nth demand miss per host sends an
+  // async replica write to a foreign-shard node. 0 disables; ignored at
+  // shards=1 (there is no foreign shard).
+  size_t mirror_every = 0;
+  // Pin worker i to CPU (i % hardware threads) on Linux.
+  bool pin_threads = false;
+  // Per-(sender, receiver) mailbox ring capacity (rounded up to a power
+  // of two; overflow spills safely either way).
+  size_t mailbox_capacity = 4096;
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(const ShardedClusterConfig& config);
+  ~ShardedCluster();
+
+  size_t num_hosts() const { return hosts_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_shards() const { return plan_.shards; }
+  const ShardPlan& plan() const { return plan_; }
+  SimTimeNs window_ns() const { return window_ns_; }
+  // Windows executed by the last Run (lockstep rounds, jumps included).
+  uint64_t windows_run() const { return windows_run_; }
+  Machine& host(size_t i) { return *hosts_[i]; }
+  RemoteAgent& node(size_t i) { return *nodes_[i]; }
+  bool HostAlive(size_t host) const { return alive_[host] != 0; }
+
+  // --- failure scenarios (schedule before Run; they fire on the target's
+  // home-shard queue, so injection stays deterministic) -------------------
+  void ScheduleNodeFailure(uint32_t node, SimTimeNs at);
+  void ScheduleNodeRecovery(uint32_t node, SimTimeNs at);
+  void ScheduleNodeGray(uint32_t node, double stretch, SimTimeNs at,
+                        SimTimeNs until = 0);
+  void ScheduleNodeDelaySpike(uint32_t node, SimTimeNs extra_ns, SimTimeNs at,
+                              SimTimeNs until = 0);
+  void ScheduleHostLeave(size_t host, SimTimeNs at);
+
+  // Runs all workloads to completion on the shard worker pool. One Run per
+  // instance (like a process lifetime); results come back in spec order.
+  std::vector<RunResult> Run(std::vector<ClusterAppSpec> specs);
+
+  // Remote (non-resident) access latency per host, recorded by Run.
+  const Histogram& host_remote_latency(size_t host) const {
+    return host_remote_hist_[host];
+  }
+
+  // Merged cluster-wide snapshot, field-compatible with Cluster::Stats():
+  // counters/link counts/stage sums add across shards, per-class means
+  // recompute from summed accumulators, demand-stage tail percentiles
+  // recompute from merged histograms.
+  ClusterStats Stats() const;
+
+  // Barrier-sampled time series (enabled by base.sampler.enabled): one
+  // StatsSample per sampler period, snapshotted inside the window barrier
+  // where every worker is quiesced.
+  const std::vector<StatsSample>& samples() const { return samples_; }
+
+  // Mailbox pressure telemetry: total ops that overflowed a ring into the
+  // sender-side spill (delivery unaffected).
+  uint64_t mailbox_overflows() const;
+
+ private:
+  struct Shard;
+
+  void BuildShard(size_t s);
+  size_t AddHost(Shard& shard);
+  void RemoveHost(size_t host);
+  void WorkerLoop(Shard& shard);
+  void OnBarrier();          // completion hook: transfer, advance, sample
+  void ApplyPending(Shard& shard);
+  void SendMirror(Shard& shard, uint32_t host, uint64_t tick, SimTimeNs now);
+  void TakeSample(SimTimeNs ts);
+
+  ShardedClusterConfig config_;
+  ShardPlan plan_;
+  SimTimeNs window_ns_ = 1;
+
+  // Global object tables, indexed by global id. Each element is touched by
+  // exactly one shard's worker during Run (hosts/alive/histograms by the
+  // home shard; nodes by home shard plus barrier-serial mirror applies).
+  std::vector<std::unique_ptr<RemoteAgent>> nodes_;
+  std::vector<std::unique_ptr<Machine>> hosts_;
+  std::vector<uint8_t> alive_;  // NOT vector<bool>: per-element writes must
+                                // not share bytes across shards
+  std::vector<Histogram> host_remote_hist_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Rng host_seeder_;
+
+  // Window protocol state. Written only inside the barrier completion (or
+  // before workers start); the barrier's mutex publishes every write to
+  // every worker before its next window.
+  SimTimeNs window_start_ = 0;
+  SimTimeNs window_end_ = 0;
+  bool stopped_ = false;
+  uint64_t windows_run_ = 0;
+  std::unique_ptr<WindowBarrier> barrier_;
+  bool ran_ = false;
+
+  // Barrier sampling (base.sampler.enabled).
+  SimTimeNs next_sample_ts_ = 0;
+  std::vector<StatsSample> samples_;
+  Histogram sample_scratch_;
+};
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_RUNTIME_SHARDED_CLUSTER_H_

@@ -63,6 +63,9 @@ enum class CounterId : uint8_t {
   kTierSpills,               // writes placed below the preferred tier (full)
   kTierFastHits,             // demand reads served by the fastest tier
   kTierSlowHits,             // demand reads served by any lower tier
+  // Sharded parallel engine (src/runtime/sharded_cluster.h).
+  kCrossShardSent,           // cross-shard page ops pushed into a mailbox
+  kCrossShardApplied,        // cross-shard page ops applied at their target
   kCount,
 };
 
@@ -113,6 +116,8 @@ constexpr const char* CounterName(CounterId id) {
     case CounterId::kTierSpills: return "tier_spills";
     case CounterId::kTierFastHits: return "tier_fast_demand_reads";
     case CounterId::kTierSlowHits: return "tier_slow_demand_reads";
+    case CounterId::kCrossShardSent: return "cross_shard_ops_sent";
+    case CounterId::kCrossShardApplied: return "cross_shard_ops_applied";
     case CounterId::kCount: break;
   }
   return "unknown";
@@ -207,6 +212,8 @@ inline constexpr CounterId kTierDemotions = CounterId::kTierDemotions;
 inline constexpr CounterId kTierSpills = CounterId::kTierSpills;
 inline constexpr CounterId kTierFastHits = CounterId::kTierFastHits;
 inline constexpr CounterId kTierSlowHits = CounterId::kTierSlowHits;
+inline constexpr CounterId kCrossShardSent = CounterId::kCrossShardSent;
+inline constexpr CounterId kCrossShardApplied = CounterId::kCrossShardApplied;
 }  // namespace counter
 
 }  // namespace leap
