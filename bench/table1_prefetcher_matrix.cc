@@ -5,11 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/prefetch/ghb.h"
-#include "src/prefetch/leap_adapter.h"
-#include "src/prefetch/next_n_line.h"
-#include "src/prefetch/readahead.h"
-#include "src/prefetch/stride.h"
+#include "src/prefetch/policy_registry.h"
 #include "src/stats/table.h"
 
 namespace leap {
@@ -68,33 +64,53 @@ void Run() {
   props.AddRow({"Linux Read-Ahead", "yes", "yes", "yes", "yes", "yes", "yes",
                 "no"});
   props.AddRow({"Leap", "yes", "yes", "yes", "yes", "yes", "yes", "yes"});
+  props.AddRow({"Online-delta (learned)", "yes", "no", "yes", "yes", "yes",
+                "yes", "yes"});
+  props.AddRow({"Profile-guided", "yes", "yes", "yes", "yes", "no", "yes",
+                "yes"});
   std::printf("%s\n", props.Render().c_str());
 
   std::printf("--- measured per-decision overhead (this implementation) "
               "---\n");
+  // Every registered kind goes through the same harness; adding a policy
+  // to the registry adds its row here with no bench edits.
   TextTable cost;
   cost.SetHeader({"technique", "ns/decision", "state bytes/process"});
-  NextNLinePrefetcher next_n(8);
-  StridePrefetcher stride(8);
-  ReadAheadPrefetcher readahead(2, 8);
-  GhbPrefetcher ghb;
-  LeapAdapter leap_prefetcher;
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.0f", MeasureNsPerDecision(next_n));
-  cost.AddRow({"Next-N-Line", buf, "0"});
-  std::snprintf(buf, sizeof(buf), "%.0f", MeasureNsPerDecision(stride));
-  cost.AddRow({"Stride", buf, std::to_string(sizeof(SwapSlot) * 2 + 24)});
-  std::snprintf(buf, sizeof(buf), "%.0f", MeasureNsPerDecision(readahead));
-  cost.AddRow({"Read-Ahead", buf, std::to_string(sizeof(SwapSlot) + 24)});
   const GhbConfig ghb_config;
-  std::snprintf(buf, sizeof(buf), "%.0f", MeasureNsPerDecision(ghb));
-  cost.AddRow({"GHB (global, shared)", buf,
-               std::to_string(ghb_config.buffer_size * 16 + 1024) + "+index"});
-  std::snprintf(buf, sizeof(buf), "%.0f",
-                MeasureNsPerDecision(leap_prefetcher));
   const LeapParams params;
-  cost.AddRow({"Leap", buf,
-               std::to_string(params.history_size * sizeof(PageDelta) + 64)});
+  const OnlineDeltaConfig od_config;
+  for (PrefetchKind kind : kAllPrefetchKinds) {
+    auto policy = MakePrefetchPolicy(kind);
+    std::string state;
+    switch (kind) {
+      case PrefetchKind::kNone:
+      case PrefetchKind::kNextNLine:
+        state = "0";
+        break;
+      case PrefetchKind::kStride:
+        state = std::to_string(sizeof(SwapSlot) * 2 + 24);
+        break;
+      case PrefetchKind::kReadAhead:
+        state = std::to_string(sizeof(SwapSlot) + 24);
+        break;
+      case PrefetchKind::kGhb:
+        state = std::to_string(ghb_config.buffer_size * 16 + 1024) + "+index";
+        break;
+      case PrefetchKind::kLeap:
+        state =
+            std::to_string(params.history_size * sizeof(PageDelta) + 64);
+        break;
+      case PrefetchKind::kOnlineDelta:
+        state = "<=" + std::to_string(od_config.max_entries * 48) + " shared";
+        break;
+      case PrefetchKind::kProfileGuided:
+        state = "profile (offline) + 16/region";
+        break;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", MeasureNsPerDecision(*policy));
+    cost.AddRow({std::string(PrefetchKindName(kind)), buf, state});
+  }
   std::printf("%s\n", cost.Render().c_str());
   std::printf("Leap state = Hsize(%zu) deltas x 8B + O(1) window state: "
               "O(1) memory per process, O(Hsize) worst-case time.\n",

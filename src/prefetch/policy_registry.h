@@ -1,0 +1,59 @@
+// The one place a prefetch policy is registered. Benches, tests, examples,
+// and the Machine all construct policies through MakePrefetchPolicy(kind),
+// so adding a policy is: implement PrefetchPolicy, add a PrefetchKind
+// value here, extend the two switches in policy_registry.cc, and append to
+// kAllPrefetchKinds - every consumer (table1 matrix, fig19 scoring,
+// conformance + determinism suites) picks it up from the list.
+#ifndef LEAP_SRC_PREFETCH_POLICY_REGISTRY_H_
+#define LEAP_SRC_PREFETCH_POLICY_REGISTRY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/core/params.h"
+#include "src/prefetch/ghb.h"
+#include "src/prefetch/online_delta.h"
+#include "src/prefetch/prefetcher.h"
+#include "src/prefetch/profile_guided.h"
+
+namespace leap {
+
+enum class PrefetchKind {
+  kNone,
+  kNextNLine,
+  kStride,
+  kReadAhead,
+  kGhb,
+  kLeap,
+  kOnlineDelta,
+  kProfileGuided,
+};
+
+inline constexpr PrefetchKind kAllPrefetchKinds[] = {
+    PrefetchKind::kNone,      PrefetchKind::kNextNLine,
+    PrefetchKind::kStride,    PrefetchKind::kReadAhead,
+    PrefetchKind::kGhb,       PrefetchKind::kLeap,
+    PrefetchKind::kOnlineDelta, PrefetchKind::kProfileGuided,
+};
+inline constexpr size_t kNumPrefetchKinds =
+    sizeof(kAllPrefetchKinds) / sizeof(kAllPrefetchKinds[0]);
+
+// Construction knobs for every registered policy, with the same defaults
+// the Machine has always used: the window heuristics (next-n-line, stride,
+// read-ahead) are sized by leap.max_prefetch_window.
+struct PolicyParams {
+  LeapParams leap;
+  GhbConfig ghb;
+  OnlineDeltaConfig online_delta;
+  ProfileGuidedConfig profile_guided;
+};
+
+// Stable registry name (matches each policy's name()).
+std::string_view PrefetchKindName(PrefetchKind kind);
+
+std::unique_ptr<PrefetchPolicy> MakePrefetchPolicy(
+    PrefetchKind kind, const PolicyParams& params = {});
+
+}  // namespace leap
+
+#endif  // LEAP_SRC_PREFETCH_POLICY_REGISTRY_H_

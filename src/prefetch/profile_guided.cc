@@ -1,0 +1,62 @@
+#include "src/prefetch/profile_guided.h"
+
+#include <algorithm>
+
+namespace leap {
+
+ProfileGuidedPolicy::ProfileGuidedPolicy(ProfileGuidedConfig config)
+    : config_(std::move(config)) {
+  scores_.Reserve(config_.profile.hints.size());
+}
+
+uint32_t ProfileGuidedPolicy::DistanceFor(const ProfileHint& hint) const {
+  uint32_t d = config_.distance == DistanceProvider::kStatic
+                   ? config_.static_distance
+                   : hint.depth;
+  return static_cast<uint32_t>(
+      std::min<size_t>(d, kMaxPrefetchCandidates));
+}
+
+CandidateVec ProfileGuidedPolicy::OnFault(const FaultContext& ctx) {
+  CandidateVec out;
+  if (config_.profile.empty() || ctx.slot == kInvalidSlot) return out;
+  if (config_.congestion_backoff_ns > 0 &&
+      ctx.congestion.DataQueueDelayNs() > config_.congestion_backoff_ns) {
+    return out;
+  }
+  const ProfileHint* hint = config_.profile.FindRegion(RegionOf(ctx.slot));
+  if (hint == nullptr) return out;
+  RegionScore* score = scores_.Find(hint->region);
+  if (score != nullptr && score->suppressed) return out;
+
+  size_t depth = std::min<size_t>(DistanceFor(*hint), ctx.budget_remaining);
+  SwapSlot next = ctx.slot;
+  for (size_t i = 0; i < depth; ++i) {
+    next = static_cast<SwapSlot>(next + hint->stride);
+    if (next == ctx.slot || next == kInvalidSlot) break;
+    out.push_back(next);
+  }
+  return out;
+}
+
+void ProfileGuidedPolicy::OnPrefetchIssued(Pid, SwapSlot slot, SimTimeNs) {
+  ++scores_[RegionOf(slot)].issued;
+}
+
+void ProfileGuidedPolicy::OnPrefetchHit(Pid, SwapSlot slot, SimTimeNs) {
+  ++scores_[RegionOf(slot)].hits;
+}
+
+void ProfileGuidedPolicy::OnPrefetchDropped(Pid, SwapSlot slot) {
+  RegionScore& score = scores_[RegionOf(slot)];
+  if (score.suppressed || score.issued < config_.min_issued_before_check) {
+    return;
+  }
+  // One-way gate: a region that proves inaccurate in this run stays off.
+  if (100 * score.hits < config_.suppress_accuracy_pct * score.issued) {
+    score.suppressed = true;
+    ++suppressed_regions_;
+  }
+}
+
+}  // namespace leap

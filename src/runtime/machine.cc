@@ -2,34 +2,49 @@
 
 #include <algorithm>
 
-#include "src/prefetch/ghb.h"
-#include "src/prefetch/leap_adapter.h"
-#include "src/prefetch/next_n_line.h"
-#include "src/prefetch/readahead.h"
-#include "src/prefetch/stride.h"
-
 namespace leap {
 namespace {
 
-std::unique_ptr<PrefetchPolicy> MakePolicy(const MachineConfig& config) {
-  switch (config.prefetcher) {
-    case PrefetchKind::kNone:
-      return std::make_unique<NoPrefetcher>();
-    case PrefetchKind::kNextNLine:
-      return std::make_unique<NextNLinePrefetcher>(
-          config.leap.max_prefetch_window);
-    case PrefetchKind::kStride:
-      return std::make_unique<StridePrefetcher>(
-          config.leap.max_prefetch_window);
-    case PrefetchKind::kReadAhead:
-      return std::make_unique<ReadAheadPrefetcher>(
-          2, config.leap.max_prefetch_window);
-    case PrefetchKind::kGhb:
-      return std::make_unique<GhbPrefetcher>();
-    case PrefetchKind::kLeap:
-      return std::make_unique<LeapAdapter>(config.leap);
+// Non-owning delegate for MachineConfig::policy_override: the machine
+// always owns its policy_ slot, so an injected external policy rides
+// behind this forwarder.
+class ForwardingPolicy : public PrefetchPolicy {
+ public:
+  explicit ForwardingPolicy(PrefetchPolicy* target) : target_(target) {}
+
+  CandidateVec OnFault(const FaultContext& ctx) override {
+    return target_->OnFault(ctx);
   }
-  return std::make_unique<NoPrefetcher>();
+  void OnCacheAccess(Pid pid, SwapSlot slot) override {
+    target_->OnCacheAccess(pid, slot);
+  }
+  void OnPrefetchIssued(Pid pid, SwapSlot slot, SimTimeNs now) override {
+    target_->OnPrefetchIssued(pid, slot, now);
+  }
+  void OnPrefetchComplete(Pid pid, SwapSlot slot,
+                          SimTimeNs latency) override {
+    target_->OnPrefetchComplete(pid, slot, latency);
+  }
+  void OnPrefetchHit(Pid pid, SwapSlot slot, SimTimeNs timeliness) override {
+    target_->OnPrefetchHit(pid, slot, timeliness);
+  }
+  void OnPrefetchDropped(Pid pid, SwapSlot slot) override {
+    target_->OnPrefetchDropped(pid, slot);
+  }
+  std::string_view name() const override { return target_->name(); }
+
+ private:
+  PrefetchPolicy* target_;
+};
+
+std::unique_ptr<PrefetchPolicy> MakePolicy(const MachineConfig& config) {
+  if (config.policy_override != nullptr) {
+    return std::make_unique<ForwardingPolicy>(config.policy_override);
+  }
+  return MakePrefetchPolicy(
+      config.prefetcher, PolicyParams{config.leap, GhbConfig{},
+                                      config.online_delta,
+                                      config.profile_guided});
 }
 
 }  // namespace
@@ -512,10 +527,13 @@ void Machine::EnforcePrefetchCacheLimit(size_t incoming, SimTimeNs now) {
 }
 
 // Drops candidates that point at the demand page, past the end of the
-// backing store, at already-cached slots, or that repeat an earlier
-// candidate in the same batch (a duplicate would double-count Issued with
-// only one possible Hit/Dropped, and leak its pre-allocated frame when the
-// cache insert rejects the second copy).
+// backing store, at already-cached slots, at slots whose page is currently
+// mapped (the kernel analog finds those in the swap cache and skips the
+// read; issuing one here could only ever be dropped on the page's next
+// eviction or dirty), or that repeat an earlier candidate in the same
+// batch (a duplicate would double-count Issued with only one possible
+// Hit/Dropped, and leak its pre-allocated frame when the cache insert
+// rejects the second copy).
 CandidateVec Machine::FilterPrefetchCandidates(const CandidateVec& candidates,
                                                SwapSlot demand_slot) const {
   // Readahead is bounded by the device: the swap area's high-water mark, or
@@ -529,6 +547,12 @@ CandidateVec Machine::FilterPrefetchCandidates(const CandidateVec& candidates,
     }
     if (cache_.Lookup(slot) != nullptr) {
       continue;
+    }
+    if (!config_.vfs_mode) {
+      auto owner = swap_.OwnerOf(slot);
+      if (owner.has_value() && IsResident(owner->pid, owner->vpn)) {
+        continue;
+      }
     }
     // O(n^2) over <= kMaxPrefetchCandidates inline elements: cheaper than
     // any set, and still allocation-free.
@@ -728,6 +752,9 @@ AccessResult Machine::Access(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
       const SimTimeNs hit_cost = data_path_->CacheHitCost(rng_);
       // The access tracker sees every do_swap_page, hits included.
       policy_->OnCacheAccess(pid, slot);
+      if (fault_sink_ != nullptr) {
+        fault_sink_->push_back({pid, slot, now, /*hit=*/true});
+      }
       if (entry->ready_at > now) {
         // In-flight prefetch: block for the residue.
         const SimTimeNs wait = entry->ready_at - now;
@@ -748,6 +775,9 @@ AccessResult Machine::Access(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
   }
 
   counters_.Add(counter::kCacheMisses);
+  if (fault_sink_ != nullptr) {
+    fault_sink_->push_back({pid, slot, now, /*hit=*/false});
+  }
   SimTimeNs cpu_cost = 0;
   Pfn demand_pfn = kInvalidPfn;
   const SimTimeNs demand_ready =
@@ -807,6 +837,9 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
       }
     }
     policy_->OnCacheAccess(pid, slot);
+    if (fault_sink_ != nullptr) {
+      fault_sink_->push_back({pid, slot, now, /*hit=*/true});
+    }
     if (entry->ready_at > now) {
       const SimTimeNs wait = entry->ready_at - now;
       counters_.Add(counter::kCacheHits);
@@ -835,6 +868,9 @@ AccessResult Machine::VfsAccess(Pid pid, Vpn vpn, bool write, SimTimeNs now) {
   }
 
   counters_.Add(counter::kCacheMisses);
+  if (fault_sink_ != nullptr) {
+    fault_sink_->push_back({pid, slot, now, /*hit=*/false});
+  }
   // Demand read + prefetches, each entry tagged with its IoClass (fixed
   // inline storage, as in IssueMiss; the demand entry leads so ready[0]
   // lines up with it below).

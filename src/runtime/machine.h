@@ -22,7 +22,9 @@
 #include "src/paging/data_path.h"
 #include "src/paging/swap_manager.h"
 #include "src/prefetch/budget_governor.h"
+#include "src/prefetch/policy_registry.h"
 #include "src/prefetch/prefetcher.h"
+#include "src/prefetch/profile_pass.h"
 #include "src/rdma/host_agent.h"
 #include "src/rdma/remote_agent.h"
 #include "src/sim/event_queue.h"
@@ -39,7 +41,8 @@ namespace leap {
 
 enum class Medium { kHdd, kSsd, kRemote };
 enum class PathKind { kDefault, kLeap };
-enum class PrefetchKind { kNone, kNextNLine, kStride, kReadAhead, kGhb, kLeap };
+// PrefetchKind lives in src/prefetch/policy_registry.h (the shared policy
+// registry); re-exported here because every MachineConfig names one.
 enum class EvictionKind { kLazyLru, kEagerLeap };
 
 struct MachineConfig {
@@ -50,6 +53,15 @@ struct MachineConfig {
   PrefetchKind prefetcher = PrefetchKind::kReadAhead;
   EvictionKind eviction = EvictionKind::kLazyLru;
   LeapParams leap;
+  // Knobs for the learned / profile-guided policies (used only when
+  // `prefetcher` selects them).
+  OnlineDeltaConfig online_delta;
+  ProfileGuidedConfig profile_guided;
+  // Test seam: when set, the machine drives THIS policy (non-owning;
+  // `prefetcher` is ignored). Lets conformance tests interpose an auditing
+  // wrapper around a real policy and observe the exact feedback stream the
+  // machine delivers.
+  PrefetchPolicy* policy_override = nullptr;
 
   // File-style access (disaggregated VFS): no page tables; every access is
   // a cache lookup; writes are write-allocate + writeback on eviction.
@@ -183,6 +195,13 @@ class Machine {
   size_t resident_pages(Pid pid) const;
   bool IsResident(Pid pid, Vpn vpn) const;
   SwapManager& swap() { return swap_; }
+  // Prefetched cache pages not yet hit (what FaultContext reports).
+  size_t unconsumed_prefetched() const { return unconsumed_prefetched_; }
+  // Fault-trace recording hook for the offline profile pass: when set,
+  // every policy-visible paging event (cache miss and remote-path cache
+  // hit) is appended to `sink` in access order. Observation-only - no
+  // machine behavior changes. Pass nullptr to stop recording.
+  void SetFaultTraceSink(FaultTrace* sink) { fault_sink_ = sink; }
   // Per-tenant footprint on the backing medium (remote slabs / swap).
   size_t swapped_pages(Pid pid) const { return swap_.SlotsOf(pid); }
   // This machine's uplink id when cluster-wired (0 standalone).
@@ -312,6 +331,8 @@ class Machine {
   std::unique_ptr<BudgetGovernor> governor_;  // null when disabled
   // Prefetched cache pages not yet hit (FaultContext::inflight_prefetches).
   size_t unconsumed_prefetched_ = 0;
+  // Profile-pass recording sink (null = off; see SetFaultTraceSink).
+  FaultTrace* fault_sink_ = nullptr;
 
   // unique_ptr values keep ProcessState addresses stable across map growth
   // (Proc() references are held across container mutations).

@@ -129,11 +129,12 @@ TEST(Determinism, LeapStackAllPatterns) {
 }
 
 TEST(Determinism, DefaultPathEveryPrefetcher) {
-  for (PrefetchKind kind :
-       {PrefetchKind::kNone, PrefetchKind::kNextNLine, PrefetchKind::kStride,
-        PrefetchKind::kReadAhead, PrefetchKind::kGhb, PrefetchKind::kLeap}) {
+  // Every registered kind, including the learned ones: trained state must
+  // be a pure function of the observed event sequence (no RNG, no wall
+  // clock, no iteration-order dependence).
+  for (PrefetchKind kind : kAllPrefetchKinds) {
     ExpectSameTwice(DefaultVmmConfig(kind, kFrames, 42), /*pattern=*/1,
-                    "default-vmm prefetcher variant");
+                    PrefetchKindName(kind).data());
   }
 }
 

@@ -1,0 +1,88 @@
+// Golden-trace regression pin for the Leap majority-trend detector.
+//
+// The fixture (tests/data/golden_trace.txt, Trace text format) is a
+// checked-in 6000-op stream: 4000 ops of stride-10 over 2048 pages (what
+// the detector is built to latch onto) followed by 2000 ops of
+// zipf-scrambled accesses (where it should mostly go quiet). The trace is
+// replayed straight into the LeapAdapter policy - no Machine, no latency
+// model - so every number below is pure integer arithmetic and must match
+// EXACTLY on every compiler and sanitizer. A diff here means the detector
+// (trend window logic, majority vote, window sizing) changed behaviour;
+// update the pins only for an intentional algorithm change.
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/prefetch/leap_adapter.h"
+#include "src/workload/trace.h"
+
+namespace leap {
+namespace {
+
+// A prediction is scored a hit when its page is accessed within this many
+// subsequent trace positions; afterwards it expires as pollution.
+constexpr size_t kHorizon = 256;
+
+struct ReplayScore {
+  uint64_t issued = 0;
+  uint64_t hits = 0;          // predictions consumed within the horizon
+  uint64_t covered = 0;       // accesses that had a live prediction
+  uint64_t distance_sum = 0;  // emit->use distance of hits, in accesses
+  uint64_t accuracy_pct = 0;
+  uint64_t coverage_pct = 0;
+  uint64_t mean_distance = 0;
+};
+
+ReplayScore ReplayDetector(const Trace& trace) {
+  LeapAdapter policy;
+  ReplayScore score;
+  // Outstanding predictions: page -> trace position that emitted it.
+  std::map<SwapSlot, size_t> outstanding;
+  const auto& ops = trace.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const SwapSlot slot = ops[i].vpn;  // identity page->slot mapping
+    auto it = outstanding.find(slot);
+    if (it != outstanding.end()) {
+      if (i - it->second <= kHorizon) {
+        ++score.hits;
+        ++score.covered;
+        score.distance_sum += i - it->second;
+      }
+      outstanding.erase(it);
+    }
+    const CandidateVec out = policy.OnFault(FaultContext{1, slot});
+    for (SwapSlot cand : out) {
+      ++score.issued;
+      // Re-prediction refreshes the emit position.
+      outstanding[cand] = i;
+    }
+  }
+  score.accuracy_pct = score.issued ? 100 * score.hits / score.issued : 0;
+  score.coverage_pct = ops.empty() ? 0 : 100 * score.covered / ops.size();
+  score.mean_distance = score.hits ? score.distance_sum / score.hits : 0;
+  return score;
+}
+
+TEST(GoldenTrace, LeapDetectorPinnedScore) {
+  auto trace = Trace::LoadFrom(std::string(LEAP_TEST_DATA_DIR) +
+                               "/golden_trace.txt");
+  ASSERT_TRUE(trace.has_value()) << "fixture missing or unparsable";
+  ASSERT_EQ(trace->size(), 6000u) << "fixture changed size";
+
+  const ReplayScore score = ReplayDetector(*trace);
+
+  // Tolerance-free pins (see file comment before touching these). The
+  // shape they encode: near-perfect accuracy with coverage bounded by the
+  // strided 2/3 of the trace, and hits consumed almost immediately after
+  // emission (the detector predicts one access ahead).
+  EXPECT_EQ(score.issued, 3980u);
+  EXPECT_EQ(score.hits, 3960u);
+  EXPECT_EQ(score.covered, 3960u);
+  EXPECT_EQ(score.accuracy_pct, 99u);
+  EXPECT_EQ(score.coverage_pct, 66u);
+  EXPECT_EQ(score.mean_distance, 1u);
+}
+
+}  // namespace
+}  // namespace leap
